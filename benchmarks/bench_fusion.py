@@ -1,0 +1,119 @@
+"""Experiments F5 and F11-F16 — multi-network fusion at provincial scale.
+
+Times the full Fig. 5 fusion procedure over the provincial source
+networks and regenerates the figure-caption statistics of Figs. 11-16
+(node/edge counts of G1, G2, G3, the antecedent network G123, a G4
+instance and the resulting TPIIN), plus GraphML exports for rendering.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from benchmarks.conftest import RESULTS_DIR, write_report
+from repro.analysis.reporting import render_table
+from repro.io.graphml import write_graphml, write_ungraph_graphml
+from repro.model.homogeneous import TradingGraph
+
+
+def test_provincial_fusion(benchmark, paper_province):
+    """F5: the G1..G4 -> TPIIN fusion at paper scale."""
+    trading = paper_province.trading_graph(0.002)
+
+    result = benchmark.pedantic(
+        paper_province.fuse_with, args=(trading,), rounds=1, iterations=1
+    )
+    stats = result.tpiin.stats()
+    assert stats.companies >= 2452 - len(result.company_syndicates) * 50
+    assert stats.influence_arcs > 0
+
+
+def test_figure_caption_report(benchmark, paper_province, paper_base):
+    """F11-F16: regenerate the network statistics behind the figures."""
+
+    def build_report() -> str:
+        tpiin = paper_province.overlay_trading(paper_base, 0.002)
+        g1 = paper_province.interdependence
+        g2 = paper_province.influence
+        g3 = paper_province.investment
+        stats = tpiin.stats()
+        rows = [
+            [
+                "G1 interdependence (Fig. 11)",
+                g1.number_of_persons,
+                g1.number_of_links,
+                "776 directors + 1350 legal persons",
+            ],
+            [
+                "G2 influence (Fig. 12)",
+                g2.number_of_persons + g2.number_of_companies,
+                g2.number_of_influences,
+                "bipartite person -> company",
+            ],
+            [
+                "G3 investment (Fig. 13)",
+                g3.number_of_companies,
+                g3.number_of_arcs,
+                "company -> company",
+            ],
+            [
+                "G123 antecedent (Fig. 14)",
+                stats.nodes,
+                stats.influence_arcs,
+                "DAG after contraction",
+            ],
+            [
+                "G4 trading, p=0.002 (Fig. 15)",
+                stats.companies,
+                stats.trading_arcs,
+                "directed ER",
+            ],
+            [
+                "TPIIN (Fig. 16)",
+                stats.nodes,
+                stats.arcs,
+                f"avg node degree {stats.average_node_degree:.3f}",
+            ],
+        ]
+        return render_table(["network", "nodes", "arcs/edges", "note"], rows)
+
+    report = benchmark.pedantic(build_report, rounds=1, iterations=1)
+    write_report("figure_captions.txt", report)
+    assert "G123" in report
+
+
+def test_graphml_exports(benchmark, paper_province, paper_base):
+    """Write the renderable GraphML files behind Figs. 11-16."""
+
+    def export() -> list[Path]:
+        out = RESULTS_DIR / "graphml"
+        out.mkdir(parents=True, exist_ok=True)
+        tpiin = paper_province.overlay_trading(paper_base, 0.002)
+        paths = [
+            write_ungraph_graphml(
+                paper_province.interdependence.graph, out / "fig11_g1.graphml"
+            ),
+            write_graphml(paper_province.influence.graph, out / "fig12_g2.graphml"),
+            write_graphml(paper_province.investment.graph, out / "fig13_g3.graphml"),
+            write_graphml(tpiin.antecedent_graph(), out / "fig14_antecedent.graphml"),
+            write_graphml(tpiin.trading_graph(), out / "fig15_g4.graphml"),
+            write_graphml(tpiin.graph, out / "fig16_tpiin.graphml"),
+        ]
+        return paths
+
+    paths = benchmark.pedantic(export, rounds=1, iterations=1)
+    assert all(p.stat().st_size > 0 for p in paths)
+
+
+def test_empty_trading_fusion(benchmark, paper_province):
+    """Antecedent-only fusion, the base of every sweep point."""
+    companies = paper_province.company_ids
+
+    def run():
+        empty = TradingGraph()
+        for company in companies:
+            empty.add_company(company)
+        return paper_province.fuse_with(empty)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.tpiin.stats().trading_arcs == 0

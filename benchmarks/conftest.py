@@ -1,0 +1,52 @@
+"""Shared fixtures for the benchmark suite.
+
+The provincial dataset is generated once per session at the paper's
+scale (2,452 companies); each benchmark overlays the trading network it
+needs.  Report-style benches write their tables under
+``benchmarks/results/`` so the regenerated experiment artifacts survive
+the run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.datagen.config import ProvinceConfig
+from repro.datagen.province import generate_province
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_report(name: str, text: str) -> Path:
+    """Persist a benchmark report and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text + "\n")
+    print(f"\n[{name}]\n{text}")
+    return path
+
+
+@pytest.fixture(scope="session")
+def paper_province():
+    """The full-scale provincial dataset (776 / 1,350 / 2,452)."""
+    return generate_province(ProvinceConfig())
+
+
+@pytest.fixture(scope="session")
+def paper_base(paper_province):
+    """The fused antecedent TPIIN, reused by every sweep point."""
+    return paper_province.antecedent_tpiin()
+
+
+@pytest.fixture(scope="session")
+def medium_province():
+    """A 400-company dataset for engine/ablation comparisons."""
+    return generate_province(ProvinceConfig.small(companies=400, seed=17))
+
+
+@pytest.fixture(scope="session")
+def medium_tpiin(medium_province):
+    base = medium_province.antecedent_tpiin()
+    return medium_province.overlay_trading(base, 0.01)

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Temporal IAT analysis over filing periods.
+
+Trading relationships come from periodic filings with validity windows;
+this example slides a detection window across three years of monthly
+periods, tracks the tax-index trend (suspicious share, alert churn) and
+prints the Fig.-17-style tendency chart.
+
+Run:  python examples/filing_periods.py [--months 36]
+"""
+
+import argparse
+import sys
+
+from repro.analysis.trends import render_trend, suspicion_trend
+from repro.datagen import ProvinceConfig, TradingConfig, generate_province
+from repro.datagen.rng import derive_rng
+from repro.datagen.trading import random_trading_arcs
+from repro.fusion.tpiin import TPIIN
+from repro.mining import TimedTrade, sliding_window_detect
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--companies", type=int, default=300)
+    parser.add_argument("--months", type=int, default=36)
+    parser.add_argument("--window", type=int, default=6, help="window width, months")
+    parser.add_argument("--seed", type=int, default=17)
+    args = parser.parse_args(argv)
+
+    dataset = generate_province(
+        ProvinceConfig.small(companies=args.companies, seed=args.seed)
+    )
+    base = dataset.antecedent_tpiin()
+    antecedent = TPIIN(
+        graph=base.antecedent_graph(),
+        node_map=dict(base.node_map),
+        scs_subgraphs=dict(base.scs_subgraphs),
+    )
+
+    # Filings: each sampled relationship is in force for 3-18 months,
+    # starting at a random month.
+    rng = derive_rng(args.seed, "filing-periods")
+    pool = random_trading_arcs(
+        dataset.company_ids, TradingConfig(probability=0.04, seed=args.seed)
+    )
+    trades = []
+    for seller, buyer in pool:
+        start = int(rng.integers(0, args.months))
+        duration = int(rng.integers(3, 19))
+        trades.append(TimedTrade(seller, buyer, start, start + duration))
+    print(
+        f"{len(trades)} filings over {args.months} months "
+        f"({args.window}-month tumbling windows)"
+    )
+
+    windows = list(
+        sliding_window_detect(
+            antecedent, trades, window=args.window, start=0, end=args.months
+        )
+    )
+    print()
+    print(render_trend(suspicion_trend(windows)))
+
+    # Spotlight: the window with the highest alert influx.
+    busiest = max(windows, key=lambda w: len(w.new_suspicious))
+    print()
+    print(
+        f"busiest window [{busiest.window_start}, {busiest.window_end}): "
+        f"{len(busiest.new_suspicious)} new alerts, e.g. "
+        + ", ".join(f"{s}->{b}" for s, b in sorted(busiest.new_suspicious)[:4])
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

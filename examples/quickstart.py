@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Quickstart: build a tiny TPIIN and mine its suspicious groups.
+
+Recreates the paper's Fig. 6 example through the public API: one person
+``P1`` influencing companies ``C1`` and ``C3``, an investment arc
+``C1 -> C2`` and a trading relationship ``C2 -> C3``.  The suspicious
+relationship between ``C2`` and ``C3`` is certified by two trails with
+the common antecedent ``P1``.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import TPIIN, detect
+from repro.mining.oracle import suspicious_arc_oracle
+
+
+def main() -> None:
+    tpiin = TPIIN.build(
+        persons=["P1"],
+        companies=["C1", "C2", "C3"],
+        influence=[
+            ("P1", "C1"),  # P1 is e.g. the legal person of C1
+            ("P1", "C3"),  # ... and a director of C3
+            ("C1", "C2"),  # C1 holds a major share of C2
+        ],
+        trading=[("C2", "C3")],
+    )
+    tpiin.validate()
+    print("TPIIN:", tpiin.stats())
+
+    result = detect(tpiin)
+    print(result.summary())
+    print()
+    print("Suspicious groups (proof chains):")
+    for group in result.groups:
+        print(" ", group.render())
+        print("    antecedent:", group.antecedent, "| IAT:", group.trading_arc)
+
+    # The reachability oracle agrees with the detector arc for arc.
+    assert suspicious_arc_oracle(tpiin) == result.suspicious_trading_arcs
+    print()
+    print("suspicious trading relationships:", sorted(result.suspicious_trading_arcs))
+
+
+if __name__ == "__main__":
+    main()

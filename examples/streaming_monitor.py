@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Streaming IAT monitoring over an arriving trading-record feed.
+
+The NTICS motivation of the paper: a billion tax-related records a year
+with ten-million-record daily peaks.  Because suspicious groups contain
+exactly one trading arc, detection is arc-decomposable — so an online
+monitor can score each incoming trading relationship the moment it is
+filed, against a pre-indexed antecedent network.
+
+This example fuses the antecedent network of a synthetic province once,
+then streams randomly sampled trading relationships through the
+:class:`~repro.mining.incremental.IncrementalDetector`, printing alerts
+with proof chains for the suspicious ones and a retraction when a
+filing is corrected.
+
+Run:  python examples/streaming_monitor.py [--days 5] [--per-day 400]
+"""
+
+import argparse
+import sys
+import time
+
+from repro.datagen import ProvinceConfig, TradingConfig, generate_province
+from repro.datagen.trading import random_trading_arcs
+from repro.mining import IncrementalDetector
+from repro.weights import score_trading_arc
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--companies", type=int, default=400)
+    parser.add_argument("--days", type=int, default=5)
+    parser.add_argument("--per-day", type=int, default=400)
+    parser.add_argument("--seed", type=int, default=13)
+    args = parser.parse_args(argv)
+
+    dataset = generate_province(
+        ProvinceConfig.small(companies=args.companies, seed=args.seed)
+    )
+    base = dataset.antecedent_tpiin()
+    started = time.perf_counter()
+    monitor = IncrementalDetector(base)
+    print(
+        f"antecedent network indexed in {time.perf_counter() - started:.2f}s "
+        f"({base.stats().influence_arcs} influence arcs)"
+    )
+
+    feed = random_trading_arcs(
+        dataset.company_ids,
+        TradingConfig(probability=0.05, seed=args.seed),
+    )
+    cursor = 0
+    total_alerts = 0
+    for day in range(1, args.days + 1):
+        batch = feed[cursor : cursor + args.per_day]
+        cursor += len(batch)
+        started = time.perf_counter()
+        alerts = []
+        for seller, buyer in batch:
+            update = monitor.add_trading_arc(seller, buyer)
+            if update.applied and update.suspicious:
+                alerts.append(update)
+        elapsed = time.perf_counter() - started
+        total_alerts += len(alerts)
+        rate = len(batch) / elapsed if elapsed else float("inf")
+        print(
+            f"day {day}: {len(batch)} filings, {len(alerts)} alerts "
+            f"({rate:,.0f} filings/s)"
+        )
+        for update in alerts[:3]:
+            score = score_trading_arc(list(update.groups), base)
+            print(
+                f"  ALERT {update.arc[0]} -> {update.arc[1]} "
+                f"suspicion={score:.3f} proof chains={update.group_count}"
+            )
+            print(f"    {update.groups[0].render()}")
+
+    if total_alerts:
+        # A corrected filing: retract the last suspicious arc.
+        last = sorted(monitor.suspicious_arcs)[-1]
+        removal = monitor.remove_trading_arc(*last)
+        print(
+            f"retraction: {last[0]} -> {last[1]} withdrawn "
+            f"({removal.group_count} proof chains retired)"
+        )
+
+    result = monitor.result()
+    print()
+    print("monitor state:", result.summary())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""The full two-phase audit (Fig. 4's flow) on a synthetic province.
+
+Phase 1 (MSG): mine suspicious groups from the TPIIN.
+Phase 2 (ITE): simulate a transaction book, apply the arm's-length
+methods only to transactions behind suspicious trading relationships,
+and report precision/recall against the planted evasion plus the
+workload saved versus one-by-one auditing.  Finally, rank the flagged
+trades by the future-work suspicion scores and print an investigation
+briefing for the top seller.
+
+Run:  python examples/two_phase_audit.py [--companies 300] [--seed 7]
+"""
+
+import argparse
+import sys
+
+from repro.analysis.investigate import investigate_company
+from repro.datagen import ProvinceConfig, generate_province
+from repro.ite import SimulationConfig, run_two_phase, simulate_transactions
+from repro.mining import fast_detect
+from repro.weights import rank_trading_arcs
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--companies", type=int, default=300)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--probability", type=float, default=0.01)
+    args = parser.parse_args(argv)
+
+    dataset = generate_province(
+        ProvinceConfig.small(companies=args.companies, seed=args.seed)
+    )
+    base = dataset.antecedent_tpiin()
+    tpiin = dataset.overlay_trading(base, args.probability)
+
+    print("Phase 1 — MSG: mining suspicious groups")
+    detection = fast_detect(tpiin)
+    print(" ", detection.summary())
+    print()
+
+    print("Phase 2 — ITE: arm's-length judgment on suspicious trades")
+    industry_of = {
+        c.company_id: c.industry for c in dataset.registry.companies.values()
+    }
+    book = simulate_transactions(
+        list(tpiin.trading_arcs()),
+        detection.suspicious_trading_arcs,
+        industry_of,
+        config=SimulationConfig(seed=args.seed),
+    )
+    outcome = run_two_phase(tpiin, book, msg_result=detection)
+    print(" ", outcome.summary())
+    print(
+        f"  one-by-one auditing would examine all {len(book)} transactions; "
+        f"the two-phase flow examined {outcome.transactions_examined} "
+        f"({100 * outcome.workload_share:.2f}%)"
+    )
+    print()
+
+    print("Ranked suspicious trading relationships (top 5):")
+    ranked = rank_trading_arcs(detection, tpiin)
+    for score, (seller, buyer) in ranked[:5]:
+        print(f"  {seller} -> {buyer}   suspicion={score:.3f}")
+    print()
+
+    if ranked:
+        _score, (seller, _buyer) = ranked[0]
+        print("Investigation briefing for the top-ranked seller:")
+        briefing = investigate_company(tpiin, detection, seller)
+        print(briefing.render(max_rows=5))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""The paper's worked example, Figs. 7-10, end to end.
+
+Starts from the un-contracted network of Fig. 7 (kin legal persons
+L6/LB, interlocked directors B5/B6), fuses it into the TPIIN of Fig. 8,
+builds the patterns tree of Fig. 9, prints the 15-entry component
+pattern base of Fig. 10 and mines the paper's three suspicious groups.
+
+Run:  python examples/worked_example.py
+"""
+
+from repro.datagen.cases import fig7_source_graphs
+from repro.fusion import fuse
+from repro.mining import build_patterns_tree, detect
+
+
+def main() -> None:
+    sources = fig7_source_graphs()
+    print("Fig. 7 source networks:")
+    print(f"  G1 interdependence: {sources.interdependence.number_of_links} links "
+          f"(kinship L6-LB, interlocking B5-B6)")
+    print(f"  G2 influence:       {sources.influence.number_of_influences} arcs")
+    print(f"  GI investment:      {sources.investment.number_of_arcs} arcs")
+    print(f"  G4 trading:         {sources.trading.number_of_arcs} arcs")
+    print()
+
+    fusion = fuse(
+        sources.interdependence,
+        sources.influence,
+        sources.investment,
+        sources.trading,
+    )
+    print("Fusion stages (Fig. 5):")
+    print(fusion.stage_report())
+    print()
+
+    tpiin = fusion.tpiin
+    l1 = tpiin.node_map["L6"]
+    b2 = tpiin.node_map["B5"]
+    print(f"Person syndicates: {l1} (the paper's L1), {b2} (the paper's B2)")
+    print()
+
+    tree = build_patterns_tree(tpiin.graph)
+    print("Patterns tree (Fig. 9):")
+    print(tree.render_tree())
+    print()
+    print("Component pattern base (Fig. 10):")
+    print(tree.render_base())
+    print()
+
+    result = detect(tpiin)
+    print("Suspicious groups:")
+    for group in result.groups:
+        print(" ", group.render())
+    print()
+    print(result.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,135 @@
+"""Markdown audit-report writer.
+
+Bundles one detection run into the document a provincial audit office
+would circulate (the narrative equivalent of the Servyou system's
+screens): network overview, Table-1-style headline metrics,
+distributional statistics, the top-ranked suspicious trades with their
+proof chains, and — when a transaction book was adjudicated — the
+ITE-phase outcome.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.distributions import compute_distributions
+from repro.analysis.reporting import render_table
+from repro.fusion.tpiin import TPIIN
+from repro.ite.pipeline import TwoPhaseResult
+from repro.mining.detector import DetectionResult
+from repro.weights.scoring import ArcWeights, WeightConfig, rank_trading_arcs
+
+__all__ = ["build_audit_report", "write_audit_report"]
+
+
+def build_audit_report(
+    tpiin: TPIIN,
+    result: DetectionResult,
+    *,
+    two_phase: TwoPhaseResult | None = None,
+    weight_config: WeightConfig | None = None,
+    arc_weights: ArcWeights | None = None,
+    top: int = 10,
+    title: str = "Suspicious tax-evasion group audit",
+) -> str:
+    """Render the full markdown report as a string."""
+    stats = tpiin.stats()
+    lines: list[str] = [f"# {title}", ""]
+
+    lines += [
+        "## Network overview",
+        "",
+        f"- persons (incl. syndicates): **{stats.persons:,}**",
+        f"- companies (incl. syndicates): **{stats.companies:,}**",
+        f"- influence arcs (antecedent network): **{stats.influence_arcs:,}**",
+        f"- trading arcs: **{stats.trading_arcs:,}**"
+        + (
+            f" (+{len(tpiin.intra_scs_trades)} intra-SCS trades)"
+            if tpiin.intra_scs_trades
+            else ""
+        ),
+        f"- average node degree: **{stats.average_node_degree:.3f}**",
+        "",
+    ]
+
+    kinds = result.kind_counts()
+    lines += [
+        "## Headline detection metrics",
+        "",
+        render_table(
+            ["metric", "value"],
+            [
+                ["engine", result.engine],
+                ["subTPIINs", result.subtpiin_count],
+                ["complex suspicious groups", result.complex_group_count],
+                ["simple suspicious groups", result.simple_group_count],
+                ["suspicious trading relationships", result.suspicious_arc_count],
+                ["total trading relationships", result.total_trading_arcs],
+                [
+                    "suspicious share",
+                    f"{100 * result.suspicious_arc_share:.4f}%",
+                ],
+                [
+                    "groups by kind",
+                    ", ".join(f"{k.value}={v}" for k, v in kinds.items()) or "-",
+                ],
+                ["cross-component trades dismissed", result.cross_component_trades],
+            ],
+            align_right=False,
+        ),
+        "",
+    ]
+
+    if result.groups:
+        lines += [
+            "## Distributions",
+            "",
+            "```",
+            compute_distributions(result, top=top).render(top=top),
+            "```",
+            "",
+            f"## Top {top} suspicious trading relationships",
+            "",
+        ]
+        ranked = rank_trading_arcs(
+            result, tpiin, weight_config, arc_weights=arc_weights
+        )
+        for score, (seller, buyer) in ranked[:top]:
+            lines.append(f"### {seller} -> {buyer}  (suspicion {score:.3f})")
+            lines.append("")
+            for group in result.groups_for_arc((seller, buyer))[:5]:
+                lines.append(f"- `{group.render()}`")
+            lines.append("")
+
+    if two_phase is not None:
+        lines += [
+            "## ITE-phase outcome",
+            "",
+            render_table(
+                ["metric", "value"],
+                [
+                    ["transactions on file", two_phase.transactions_total],
+                    ["transactions examined", two_phase.transactions_examined],
+                    ["workload share", f"{100 * two_phase.workload_share:.2f}%"],
+                    ["transactions flagged", len(two_phase.flagged)],
+                    ["precision", f"{two_phase.precision:.3f}"],
+                    ["recall", f"{two_phase.recall:.3f}"],
+                    ["recovered tax", f"{two_phase.recovered_tax:,.0f}"],
+                ],
+                align_right=False,
+            ),
+            "",
+        ]
+    return "\n".join(lines)
+
+
+def write_audit_report(
+    path: str | Path,
+    tpiin: TPIIN,
+    result: DetectionResult,
+    **kwargs,
+) -> Path:
+    """Write :func:`build_audit_report` output to ``path``."""
+    path = Path(path)
+    path.write_text(build_audit_report(tpiin, result, **kwargs))
+    return path

@@ -1,0 +1,110 @@
+"""Distributional statistics over a detection result.
+
+The paper reports aggregate counts (Table 1); a production audit team
+also needs to know *where* the mass sits: how large the groups are, how
+long the proof chains run, which antecedents dominate, and how groups
+spread over subTPIINs.  These summaries feed the audit report writer
+and the investigation UI.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.graph.digraph import Node
+from repro.mining.detector import DetectionResult
+from repro.mining.groups import GroupKind
+
+__all__ = ["DetectionDistributions", "compute_distributions"]
+
+
+@dataclass
+class DetectionDistributions:
+    """Histograms and top-k lists summarizing one detection run."""
+
+    group_size_histogram: Counter = field(default_factory=Counter)
+    trail_length_histogram: Counter = field(default_factory=Counter)
+    groups_per_arc_histogram: Counter = field(default_factory=Counter)
+    kind_counts: Counter = field(default_factory=Counter)
+    top_antecedents: list[tuple[Node, int]] = field(default_factory=list)
+    top_arcs: list[tuple[tuple[Node, Node], int]] = field(default_factory=list)
+
+    @property
+    def max_group_size(self) -> int:
+        return max(self.group_size_histogram, default=0)
+
+    @property
+    def mean_group_size(self) -> float:
+        total = sum(self.group_size_histogram.values())
+        if total == 0:
+            return 0.0
+        weighted = sum(size * n for size, n in self.group_size_histogram.items())
+        return weighted / total
+
+    @property
+    def mean_groups_per_suspicious_arc(self) -> float:
+        total_arcs = sum(self.groups_per_arc_histogram.values())
+        if total_arcs == 0:
+            return 0.0
+        weighted = sum(
+            n_groups * n for n_groups, n in self.groups_per_arc_histogram.items()
+        )
+        return weighted / total_arcs
+
+    def render(self, *, top: int = 5) -> str:
+        lines = [
+            f"groups: {sum(self.group_size_histogram.values())} "
+            f"(mean size {self.mean_group_size:.2f}, max {self.max_group_size})",
+            f"mean groups per suspicious arc: "
+            f"{self.mean_groups_per_suspicious_arc:.2f}",
+            "group sizes: "
+            + ", ".join(
+                f"{size}:{count}"
+                for size, count in sorted(self.group_size_histogram.items())
+            ),
+            "trail lengths: "
+            + ", ".join(
+                f"{length}:{count}"
+                for length, count in sorted(self.trail_length_histogram.items())
+            ),
+            "kinds: "
+            + ", ".join(
+                f"{kind.value}:{count}" for kind, count in self.kind_counts.items()
+            ),
+        ]
+        if self.top_antecedents:
+            lines.append(
+                "busiest antecedents: "
+                + ", ".join(f"{a} ({n})" for a, n in self.top_antecedents[:top])
+            )
+        if self.top_arcs:
+            lines.append(
+                "most-certified arcs: "
+                + ", ".join(
+                    f"{s}->{b} ({n})" for (s, b), n in self.top_arcs[:top]
+                )
+            )
+        return "\n".join(lines)
+
+
+def compute_distributions(
+    result: DetectionResult, *, top: int = 10
+) -> DetectionDistributions:
+    """Summarize ``result`` (requires a group-collecting run)."""
+    dist = DetectionDistributions()
+    per_arc: Counter = Counter()
+    per_antecedent: Counter = Counter()
+    for group in result.groups:
+        dist.group_size_histogram[len(group.members)] += 1
+        dist.trail_length_histogram[len(group.trading_trail)] += 1
+        dist.trail_length_histogram[len(group.support_trail)] += 1
+        dist.kind_counts[group.kind] += 1
+        per_arc[group.trading_arc] += 1
+        if group.kind is not GroupKind.SCS:
+            per_antecedent[group.antecedent] += 1
+    for count in per_arc.values():
+        dist.groups_per_arc_histogram[count] += 1
+    dist.top_antecedents = per_antecedent.most_common(top)
+    dist.top_arcs = per_arc.most_common(top)
+    return dist

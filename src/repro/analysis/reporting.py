@@ -1,0 +1,55 @@
+"""Plain-text table rendering used by every report in the package."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["render_table", "format_number"]
+
+
+def format_number(value: object) -> str:
+    """Compact numeric formatting: thousands separators, trimmed floats."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return f"{int(value):,}"
+        return f"{value:,.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    align_right: bool = True,
+) -> str:
+    """Render an aligned monospace table.
+
+    >>> print(render_table(["a", "b"], [[1, 22], [333, 4]]))
+      a   b
+    ---  --
+      1  22
+    333   4
+    """
+    text_rows = [[format_number(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        if align_right:
+            return "  ".join(c.rjust(widths[i]) for i, c in enumerate(cells))
+        return "  ".join(c.ljust(widths[i]) for i, c in enumerate(cells)).rstrip()
+
+    lines = [fmt(list(headers))]
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in text_rows)
+    return "\n".join(lines)

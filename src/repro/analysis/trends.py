@@ -1,0 +1,90 @@
+"""Tax-index trend tracking over temporal detection windows.
+
+The deployed system's menu (Fig. 17) includes "tracking the tendency of
+the tax index"; combined with the temporal engine this becomes: slide a
+window over the filing periods and chart how the trading volume, the
+suspicious share and the alert churn evolve.  Rendering is plain text
+(aligned table plus an ASCII sparkline), consistent with the rest of
+the reporting layer.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.analysis.reporting import render_table
+from repro.mining.temporal import WindowResult
+
+__all__ = ["TrendPoint", "suspicion_trend", "render_trend", "sparkline"]
+
+_SPARK_CHARS = " .:-=+*#%@"
+
+
+@dataclass(frozen=True, slots=True)
+class TrendPoint:
+    """One window's aggregate numbers."""
+
+    window_start: int
+    window_end: int
+    total_arcs: int
+    suspicious_arcs: int
+    group_count: int
+    new_alerts: int
+    resolved_alerts: int
+
+    @property
+    def suspicious_share(self) -> float:
+        return self.suspicious_arcs / self.total_arcs if self.total_arcs else 0.0
+
+
+def suspicion_trend(windows: Iterable[WindowResult]) -> list[TrendPoint]:
+    """Condense temporal windows into trend points."""
+    points: list[TrendPoint] = []
+    for window in windows:
+        points.append(
+            TrendPoint(
+                window_start=window.window_start,
+                window_end=window.window_end,
+                total_arcs=window.result.total_trading_arcs,
+                suspicious_arcs=len(window.suspicious_arcs),
+                group_count=window.result.group_count,
+                new_alerts=len(window.new_suspicious),
+                resolved_alerts=len(window.resolved_suspicious),
+            )
+        )
+    return points
+
+
+def sparkline(values: list[float]) -> str:
+    """A tiny ASCII chart: one character per value, scaled to the max."""
+    if not values:
+        return ""
+    top = max(values)
+    if top <= 0:
+        return _SPARK_CHARS[0] * len(values)
+    scale = len(_SPARK_CHARS) - 1
+    return "".join(
+        _SPARK_CHARS[min(scale, round(value / top * scale))] for value in values
+    )
+
+
+def render_trend(points: list[TrendPoint]) -> str:
+    """Aligned trend table with a suspicious-share sparkline footer."""
+    rows = [
+        [
+            f"[{p.window_start}, {p.window_end})",
+            p.total_arcs,
+            p.suspicious_arcs,
+            f"{100 * p.suspicious_share:.2f}%",
+            p.group_count,
+            f"+{p.new_alerts}/-{p.resolved_alerts}",
+        ]
+        for p in points
+    ]
+    table = render_table(
+        ["window", "trades", "suspicious", "share", "groups", "alert churn"],
+        rows,
+    )
+    shares = [p.suspicious_share for p in points]
+    return table + "\nshare trend: " + sparkline(shares)

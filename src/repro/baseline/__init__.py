@@ -1,0 +1,14 @@
+"""Baselines the paper compares against (or argues against)."""
+
+from repro.baseline.global_traversal import (
+    enumerate_trails_from,
+    global_traversal_detect,
+)
+from repro.baseline.pattern_enum import PatternEnumResult, enumerate_polygon_patterns
+
+__all__ = [
+    "PatternEnumResult",
+    "enumerate_polygon_patterns",
+    "enumerate_trails_from",
+    "global_traversal_detect",
+]

@@ -1,0 +1,154 @@
+"""The paper's baseline: global trail traversal (Section 5.1).
+
+    "For gaining the baseline results, we implemented a global traversing
+    algorithm that finds any component patterns behind a trading arc.
+    The idea of this global traversing algorithm is to find all trails
+    between any two different nodes and then check whether any two of
+    these trails form a suspicious group."
+
+This implementation enumerates, from each start node, every simple
+influence trail and every influence trail closed by one trading arc —
+over the *whole* TPIIN, with no divide-and-conquer segmentation and no
+pattern-tree sharing — then tests all same-start/same-end trail pairs
+against Definition 2.  It is deliberately naive: the efficiency
+benchmark measures it against the proposed method.
+
+Two start-set modes are provided:
+
+* ``starts="roots"`` — trails anchored at antecedent indegree-zero nodes,
+  the same canonical counting the detector uses; group sets then match
+  the detector exactly (property-tested).
+* ``starts="all"`` — the literal Definition-2 reading where any node may
+  be the antecedent; this yields a superset of groups (every sub-trail
+  pair counts) but the *suspicious trading arc* set is provably the same,
+  and the tests assert that.
+
+Definition-2 reading note (also in DESIGN.md): a pair of trails that end
+with the *same* trading arc technically satisfies Definition 2, but the
+paper's matching rule (Appendix B) requires the second component pattern
+to reach the end node among its influence elements; we follow the
+algorithm, so one trail of a pair must be trading-terminated and the
+other influence-terminated.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MiningError
+from repro.fusion.tpiin import TPIIN
+from repro.graph.digraph import DiGraph, Node
+from repro.mining.detector import DetectionResult
+from repro.mining.groups import GroupKind, SuspiciousGroup
+from repro.mining.scs_groups import scs_suspicious_groups
+from repro.model.colors import EColor
+
+__all__ = ["global_traversal_detect", "enumerate_trails_from"]
+
+
+def enumerate_trails_from(
+    graph: DiGraph, start: Node
+) -> list[tuple[tuple[Node, ...], bool]]:
+    """All trails from ``start``: each is (node sequence, trading_closed).
+
+    A trail is a simple influence path, optionally closed by one trading
+    arc as its final step (the closing node may revisit the path start —
+    a circle).  Unlike the pattern tree, *every* prefix is emitted, which
+    is what "all trails between any two different nodes" means.
+    """
+    trails: list[tuple[tuple[Node, ...], bool]] = [((start,), False)]
+    path = [start]
+    on_path = {start}
+    iters = [iter(sorted(graph.successors(start, EColor.INFLUENCE), key=str))]
+
+    def emit_with_trades(current: tuple[Node, ...]) -> None:
+        for target in graph.successors(current[-1], EColor.TRADING):
+            trails.append((current + (target,), True))
+
+    emit_with_trades((start,))
+    while iters:
+        try:
+            nxt = next(iters[-1])
+        except StopIteration:
+            iters.pop()
+            on_path.discard(path.pop())
+            continue
+        if nxt in on_path:
+            continue
+        path.append(nxt)
+        on_path.add(nxt)
+        current = tuple(path)
+        trails.append((current, False))
+        emit_with_trades(current)
+        iters.append(iter(sorted(graph.successors(nxt, EColor.INFLUENCE), key=str)))
+    return trails
+
+
+def global_traversal_detect(tpiin: TPIIN, *, starts: str = "roots") -> DetectionResult:
+    """Mine suspicious groups by exhaustive trail-pair checking.
+
+    See the module docstring for the ``starts`` modes.  Intended for
+    correctness cross-checks and the efficiency benchmark; cost grows
+    with (trail count)^2 per (start, end) bucket.
+    """
+    graph = tpiin.graph
+    if starts == "roots":
+        start_nodes = [
+            n for n in graph.nodes() if graph.in_degree(n, EColor.INFLUENCE) == 0
+        ]
+    elif starts == "all":
+        start_nodes = list(graph.nodes())
+    else:
+        raise MiningError(f"unknown starts mode {starts!r}")
+
+    groups: list[SuspiciousGroup] = []
+    seen_keys: set[tuple[tuple[Node, ...], tuple[Node, ...]]] = set()
+    seen_circles: set[tuple[Node, ...]] = set()
+    for start in start_nodes:
+        trails = enumerate_trails_from(graph, start)
+        # Bucket trails by their end node.
+        influence_by_end: dict[Node, list[tuple[Node, ...]]] = {}
+        trading_by_end: dict[Node, list[tuple[Node, ...]]] = {}
+        for nodes, trading_closed in trails:
+            bucket = trading_by_end if trading_closed else influence_by_end
+            bucket.setdefault(nodes[-1], []).append(nodes)
+        for end, closers in trading_by_end.items():
+            for closer in closers:
+                if end in closer[:-1]:
+                    # Circle: the trading arc returns into the trail.
+                    position = closer.index(end)
+                    circle = closer[position:]
+                    if circle[0] == circle[-1] and circle not in seen_circles:
+                        seen_circles.add(circle)
+                        groups.append(
+                            SuspiciousGroup(
+                                trading_trail=circle,
+                                support_trail=(end,),
+                                kind=GroupKind.CIRCLE,
+                            )
+                        )
+                    continue
+                for support in influence_by_end.get(end, ()):
+                    if len(support) == 1 and support[0] == closer[0]:
+                        # Trivial support equals the shared start: only
+                        # valid in the circle form handled above.
+                        continue
+                    key = (closer, support)
+                    if key in seen_keys:
+                        continue
+                    seen_keys.add(key)
+                    groups.append(
+                        SuspiciousGroup(
+                            trading_trail=closer,
+                            support_trail=support,
+                            kind=GroupKind.MATCHED,
+                        )
+                    )
+    groups.extend(scs_suspicious_groups(tpiin))
+    total_trading = sum(1 for _ in tpiin.trading_arcs()) + len(tpiin.intra_scs_trades)
+    return DetectionResult(
+        groups=groups,
+        total_trading_arcs=total_trading,
+        cross_component_trades=0,  # the baseline never segments
+        subtpiin_count=1,
+        engine=f"global-traversal[{starts}]",
+        pattern_trail_count=None,
+    )

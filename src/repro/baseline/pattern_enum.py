@@ -1,0 +1,127 @@
+"""Naive colored-subgraph pattern enumeration (the road not taken).
+
+Section 3.2 observes that suspicious groups materialize as triangle,
+quadrilateral, pentagon and hexagon subgraph patterns — two directed
+trails with a common antecedent closed by one trading arc — and that
+enumerating all color/shape variants explodes combinatorially.  This
+module implements that rejected approach honestly so the benchmark can
+show the explosion the paper's pattern-tree method avoids:
+
+for each polygon size ``k`` (3..6 by default) and each split of its
+``k - 1`` non-antecedent nodes into two influence branches, all ordered
+node assignments are enumerated and checked arc by arc.
+
+The group set found (restricted to *simple* groups of bounded size, with
+the antecedent required to be a root for comparability) matches the
+detector's simple groups of the same size; the interesting output is
+``candidates_examined``, which grows polynomially with degree and
+exponentially with ``k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+
+from repro.fusion.tpiin import TPIIN
+from repro.graph.digraph import Node
+from repro.mining.groups import GroupKind, SuspiciousGroup
+from repro.model.colors import EColor
+
+__all__ = ["PatternEnumResult", "enumerate_polygon_patterns"]
+
+
+@dataclass
+class PatternEnumResult:
+    """Outcome and cost accounting of the naive enumeration."""
+
+    groups: list[SuspiciousGroup] = field(default_factory=list)
+    candidates_examined: int = 0
+    shapes_enumerated: int = 0
+    truncated: bool = False
+
+    @property
+    def group_count(self) -> int:
+        return len(self.groups)
+
+
+def _branch_shapes(k: int) -> list[tuple[int, int]]:
+    """Splits of a k-gon into two branch lengths.
+
+    A polygon pattern with ``k`` nodes consists of the antecedent, a
+    trading branch with ``l1 >= 1`` intermediate-to-terminal nodes ending
+    at the trading arc's tail, and a support branch with ``l2 >= 1``
+    nodes ending at the trading arc's head, with ``l1 + l2 = k - 1``.
+    """
+    return [(l1, k - 1 - l1) for l1 in range(1, k - 1)]
+
+
+def enumerate_polygon_patterns(
+    tpiin: TPIIN,
+    *,
+    max_size: int = 6,
+    max_candidates: int | None = None,
+) -> PatternEnumResult:
+    """Enumerate all simple suspicious groups of at most ``max_size`` nodes.
+
+    Walks every branch-shape of every polygon size from 3 to
+    ``max_size``, instantiating branches by following influence arcs
+    (depth-first over ordered assignments) and closing with a trading
+    arc.  ``candidates_examined`` counts every partial assignment tried;
+    ``max_candidates`` aborts the enumeration (setting ``truncated``)
+    once the budget is spent, since the explosion is the point.
+    """
+    graph = tpiin.graph
+    result = PatternEnumResult()
+    seen: set[tuple[tuple[Node, ...], tuple[Node, ...]]] = set()
+    antecedents = [
+        n for n in graph.nodes() if graph.in_degree(n, EColor.INFLUENCE) == 0
+    ]
+
+    def influence_branches(start: Node, length: int) -> list[tuple[Node, ...]]:
+        """All influence paths of exactly ``length`` arcs from ``start``."""
+        branches: list[tuple[Node, ...]] = []
+        stack: list[tuple[Node, ...]] = [(start,)]
+        while stack:
+            path = stack.pop()
+            result.candidates_examined += 1
+            if len(path) - 1 == length:
+                branches.append(path)
+                continue
+            for nxt in graph.successors(path[-1], EColor.INFLUENCE):
+                if nxt not in path:
+                    stack.append(path + (nxt,))
+        return branches
+
+    for k in range(3, max_size + 1):
+        for l1, l2 in _branch_shapes(k):
+            result.shapes_enumerated += 1
+            for antecedent in antecedents:
+                lead_branches = influence_branches(antecedent, l1)
+                support_branches = influence_branches(antecedent, l2)
+                if max_candidates is not None and (
+                    result.candidates_examined > max_candidates
+                ):
+                    result.truncated = True
+                    return result
+                for lead, support in product(lead_branches, support_branches):
+                    result.candidates_examined += 1
+                    end = support[-1]
+                    if end in lead:
+                        continue
+                    if set(lead[1:]) & set(support[1:-1]):
+                        continue  # not a simple polygon
+                    if not graph.has_arc(lead[-1], end, EColor.TRADING):
+                        continue
+                    key = (lead + (end,), support)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    result.groups.append(
+                        SuspiciousGroup(
+                            trading_trail=lead + (end,),
+                            support_trail=support,
+                            kind=GroupKind.MATCHED,
+                        )
+                    )
+    return result

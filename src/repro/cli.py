@@ -1,0 +1,215 @@
+"""Command-line front end: ``repro-tpiin`` (or ``python -m repro``).
+
+Subcommands
+-----------
+
+``generate``
+    Generate the provincial dataset and write the fused TPIIN (with a
+    trading network at the given probability) as CSV.
+``mine``
+    Mine suspicious groups from a TPIIN stored as CSV; writes the
+    paper's ``susGroup``/``susTrade`` files and a JSON result.
+``table1``
+    Run the Table-1 sweep and print the table (optionally side by side
+    with the paper's numbers).
+``investigate``
+    Print the affiliated-transaction briefing for one company of the
+    provincial dataset.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.investigate import investigate_company
+from repro.analysis.table1 import run_table1
+from repro.datagen.config import PAPER_TRADING_PROBABILITIES, ProvinceConfig
+from repro.datagen.province import generate_province
+from repro.io.edge_list_io import read_tpiin_csv, write_tpiin_csv
+from repro.io.results_io import write_detection_json
+from repro.mining.detector import detect
+from repro.mining.fast import fast_detect
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-tpiin",
+        description=(
+            "TPIIN construction and suspicious tax-evasion-group mining "
+            "(reproduction of Tian et al., 2017)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate the provincial dataset as CSV")
+    gen.add_argument("--out", type=Path, default=Path("tpiin"), help="output prefix")
+    gen.add_argument("--probability", type=float, default=0.002)
+    gen.add_argument("--seed", type=int, default=20170417)
+    gen.add_argument("--companies", type=int, default=2452)
+
+    mine = sub.add_parser("mine", help="mine suspicious groups from a TPIIN CSV")
+    mine.add_argument("arcs", type=Path, help="arc CSV (start,end,color)")
+    mine.add_argument("nodes", type=Path, help="node CSV (node,color)")
+    mine.add_argument("--engine", default="faithful", choices=["faithful", "fast", "parallel"])
+    mine.add_argument("--out-dir", type=Path, default=Path("mining-out"))
+
+    table = sub.add_parser("table1", help="run the Table-1 sweep")
+    table.add_argument("--seed", type=int, default=20170417)
+    table.add_argument(
+        "--probabilities",
+        type=float,
+        nargs="*",
+        default=list(PAPER_TRADING_PROBABILITIES),
+    )
+    table.add_argument("--companies", type=int, default=2452)
+    table.add_argument("--compare-paper", action="store_true")
+
+    inv = sub.add_parser("investigate", help="drill into one company")
+    inv.add_argument("company", help="company id, e.g. C00000")
+    inv.add_argument("--seed", type=int, default=20170417)
+    inv.add_argument("--probability", type=float, default=0.002)
+    inv.add_argument("--companies", type=int, default=2452)
+    inv.add_argument("--explain", action="store_true", help="narrate proof chains")
+
+    two = sub.add_parser(
+        "twophase", help="run MSG + ITE on a synthetic province, write a report"
+    )
+    two.add_argument("--seed", type=int, default=20170417)
+    two.add_argument("--companies", type=int, default=300)
+    two.add_argument("--probability", type=float, default=0.01)
+    two.add_argument("--report", type=Path, default=Path("audit_report.md"))
+
+    ingest = sub.add_parser(
+        "ingest", help="mine a registry-CSV directory (persons/companies/relations)"
+    )
+    ingest.add_argument("directory", type=Path)
+    ingest.add_argument("--engine", default="faithful", choices=["faithful", "fast", "parallel"])
+    ingest.add_argument("--out-dir", type=Path, default=Path("mining-out"))
+    return parser
+
+
+def _province_config(args: argparse.Namespace) -> ProvinceConfig:
+    companies = getattr(args, "companies", 2452)
+    if companies == 2452:
+        return ProvinceConfig(seed=args.seed)
+    return ProvinceConfig.small(seed=args.seed, companies=companies)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    dataset = generate_province(_province_config(args))
+    trading = dataset.trading_graph(args.probability)
+    tpiin = dataset.fuse_with(trading).tpiin
+    arc_path = args.out.with_suffix(".arcs.csv")
+    node_path = args.out.with_suffix(".nodes.csv")
+    write_tpiin_csv(tpiin, arc_path, node_path)
+    stats = tpiin.stats()
+    print(f"wrote {arc_path} and {node_path}")
+    print(
+        f"persons={stats.persons} companies={stats.companies} "
+        f"influence={stats.influence_arcs} trading={stats.trading_arcs}"
+    )
+    return 0
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    tpiin = read_tpiin_csv(args.arcs, args.nodes)
+    tpiin.validate()
+    result = detect(tpiin, engine=args.engine)
+    print(result.summary())
+    paths = result.write_files(args.out_dir)
+    json_path = write_detection_json(result, args.out_dir / "detection.json")
+    print(f"wrote {len(paths)} sus files and {json_path}")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    dataset = generate_province(_province_config(args))
+    result = run_table1(dataset, args.probabilities)
+    print(result.render())
+    if args.compare_paper:
+        print()
+        print(result.render_with_paper())
+    return 0
+
+
+def _cmd_investigate(args: argparse.Namespace) -> int:
+    dataset = generate_province(_province_config(args))
+    base = dataset.antecedent_tpiin()
+    tpiin = dataset.overlay_trading(base, args.probability)
+    result = fast_detect(tpiin)
+    investigation = investigate_company(tpiin, result, args.company)
+    print(investigation.render())
+    print()
+    print("Investment tree:")
+    print(investigation.investment_tree(tpiin))
+    if args.explain and investigation.groups:
+        from repro.analysis.explain import explain_arc
+
+        arcs = sorted({g.trading_arc for g in investigation.groups})
+        print()
+        for arc in arcs[:5]:
+            print(explain_arc(arc, result, tpiin))
+            print()
+    return 0
+
+
+def _cmd_twophase(args: argparse.Namespace) -> int:
+    from repro.analysis.audit_report import write_audit_report
+    from repro.ite.pipeline import run_two_phase
+    from repro.ite.transactions import SimulationConfig, simulate_transactions
+
+    dataset = generate_province(_province_config(args))
+    base = dataset.antecedent_tpiin()
+    tpiin = dataset.overlay_trading(base, args.probability)
+    result = fast_detect(tpiin)
+    print(result.summary())
+    industry_of = {
+        c.company_id: c.industry for c in dataset.registry.companies.values()
+    }
+    book = simulate_transactions(
+        list(tpiin.trading_arcs()),
+        result.suspicious_trading_arcs,
+        industry_of,
+        config=SimulationConfig(seed=args.seed),
+    )
+    outcome = run_two_phase(tpiin, book, msg_result=result)
+    print(outcome.summary())
+    path = write_audit_report(args.report, tpiin, result, two_phase=outcome)
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.io.registry_io import load_registry_csvs
+
+    bundle = load_registry_csvs(args.directory)
+    tpiin = bundle.fuse().tpiin
+    result = detect(tpiin, engine=args.engine)
+    print(result.summary())
+    paths = result.write_files(args.out_dir)
+    json_path = write_detection_json(result, args.out_dir / "detection.json")
+    print(f"wrote {len(paths)} sus files and {json_path}")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "mine": _cmd_mine,
+    "table1": _cmd_table1,
+    "investigate": _cmd_investigate,
+    "twophase": _cmd_twophase,
+    "ingest": _cmd_ingest,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

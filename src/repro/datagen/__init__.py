@@ -1,0 +1,54 @@
+"""Synthetic taxpayer-network generation and the paper's fixtures."""
+
+from repro.datagen.cases import (
+    FIG10_EXPECTED_GROUPS,
+    FIG10_EXPECTED_PATTERNS,
+    SourceGraphs,
+    case1_source_graphs,
+    case1_tpiin,
+    case2_tpiin,
+    case3_tpiin,
+    fig6_tpiin,
+    fig7_source_graphs,
+    fig8_tpiin,
+)
+from repro.datagen.clusters import ordered_pair_share, plan_cluster_sizes
+from repro.datagen.config import (
+    PAPER_TRADING_PROBABILITIES,
+    ProvinceConfig,
+    TradingConfig,
+)
+from repro.datagen.planted import (
+    PlantedRing,
+    RING_SHAPES,
+    plant_evasion_rings,
+    recovered_rings,
+)
+from repro.datagen.province import ProvincialDataset, generate_province
+from repro.datagen.trading import random_trading_arcs, random_trading_graph
+
+__all__ = [
+    "FIG10_EXPECTED_GROUPS",
+    "FIG10_EXPECTED_PATTERNS",
+    "PAPER_TRADING_PROBABILITIES",
+    "PlantedRing",
+    "RING_SHAPES",
+    "ProvinceConfig",
+    "ProvincialDataset",
+    "SourceGraphs",
+    "TradingConfig",
+    "case1_source_graphs",
+    "case1_tpiin",
+    "case2_tpiin",
+    "case3_tpiin",
+    "fig6_tpiin",
+    "fig7_source_graphs",
+    "fig8_tpiin",
+    "generate_province",
+    "ordered_pair_share",
+    "plant_evasion_rings",
+    "recovered_rings",
+    "plan_cluster_sizes",
+    "random_trading_arcs",
+    "random_trading_graph",
+]

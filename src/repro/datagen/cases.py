@@ -1,0 +1,238 @@
+"""Paper fixtures: Cases 1-3 (Figs. 1-3) and the worked example (Figs. 7-10).
+
+These fixtures serve as golden tests — the worked example must reproduce
+the paper's 15-entry component pattern base and its three suspicious
+groups exactly — and as the data behind ``examples/case_studies.py`` and
+``examples/worked_example.py``.
+
+Each case is available in two forms:
+
+* an **abstract** TPIIN matching the paper's contracted figure (e.g.
+  Fig. 3(a)'s triangle), built directly with the paper's node labels;
+* a **source** form: the four homogeneous graphs before fusion (e.g.
+  Fig. 7's un-contracted network), for exercising the fusion pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fusion.tpiin import TPIIN
+from repro.model.colors import InfluenceKind, InterdependenceKind
+from repro.model.homogeneous import (
+    InfluenceGraph,
+    InterdependenceGraph,
+    InvestmentGraph,
+    TradingGraph,
+)
+
+__all__ = [
+    "SourceGraphs",
+    "fig6_tpiin",
+    "fig8_tpiin",
+    "fig7_source_graphs",
+    "case1_tpiin",
+    "case1_source_graphs",
+    "case2_tpiin",
+    "case3_tpiin",
+    "FIG10_EXPECTED_PATTERNS",
+    "FIG10_EXPECTED_GROUPS",
+]
+
+
+@dataclass
+class SourceGraphs:
+    """The four homogeneous graphs feeding the fusion pipeline."""
+
+    interdependence: InterdependenceGraph
+    influence: InfluenceGraph
+    investment: InvestmentGraph
+    trading: TradingGraph
+
+
+def fig6_tpiin() -> TPIIN:
+    """The example TPIIN of Fig. 6.
+
+    ``P1`` influences ``C1`` and ``C3``; ``C1`` influences (invests in)
+    ``C2``; trading runs ``C2 -> C3``.  The suspicious relationship is
+    between ``C2`` and ``C3`` behind the trading arc, certified by the
+    antecedent ``P1``.
+    """
+    return TPIIN.build(
+        persons=["P1"],
+        companies=["C1", "C2", "C3"],
+        influence=[("P1", "C1"), ("P1", "C3"), ("C1", "C2")],
+        trading=[("C2", "C3")],
+    )
+
+
+def fig8_tpiin() -> TPIIN:
+    """The contracted worked-example TPIIN of Fig. 8.
+
+    Node labels follow the paper: ``L1`` is the syndicate of the kin
+    legal persons *L6*/*LB* of Fig. 7 and ``B2`` the syndicate of the
+    interlocked directors *B5*/*B6*.  Running Algorithm 2 on this network
+    yields exactly the 15 component patterns of Fig. 10, and matching
+    yields the paper's three simple suspicious groups.
+    """
+    return TPIIN.build(
+        persons=["L1", "L2", "L3", "L4", "L5", "B1", "B2"],
+        companies=["C1", "C2", "C3", "C4", "C5", "C6", "C7", "C8"],
+        influence=[
+            ("L1", "C1"),
+            ("L1", "C2"),
+            ("L1", "C4"),
+            ("C1", "C3"),
+            ("C2", "C5"),
+            ("L2", "C3"),
+            ("L3", "C5"),
+            ("B1", "C5"),
+            ("B1", "C6"),
+            ("L4", "C6"),
+            ("L4", "C7"),
+            ("B2", "C7"),
+            ("B2", "C8"),
+            ("L5", "C8"),
+        ],
+        trading=[
+            ("C5", "C6"),
+            ("C5", "C7"),
+            ("C3", "C5"),
+            ("C7", "C8"),
+            ("C8", "C4"),
+        ],
+    )
+
+
+#: The Fig. 10 component pattern base, rendered exactly as the paper
+#: lists it (ordering differs; tests compare as sets).
+FIG10_EXPECTED_PATTERNS: frozenset[str] = frozenset(
+    {
+        "L1, C2, C5 -> C6",
+        "L1, C2, C5 -> C7",
+        "L1, C1, C3 -> C5",
+        "L1, C4",
+        "L3, C5 -> C7",
+        "L3, C5 -> C6",
+        "L2, C3 -> C5",
+        "B1, C5 -> C6",
+        "B1, C5 -> C7",
+        "B1, C6",
+        "L4, C6",
+        "L4, C7 -> C8",
+        "B2, C7 -> C8",
+        "B2, C8 -> C4",
+        "L5, C8 -> C4",
+    }
+)
+
+#: The paper's three suspicious groups, as (sorted member set, antecedent).
+FIG10_EXPECTED_GROUPS: frozenset[tuple[frozenset[str], str]] = frozenset(
+    {
+        (frozenset({"L1", "C1", "C2", "C3", "C5"}), "L1"),
+        (frozenset({"B1", "C5", "C6"}), "B1"),
+        (frozenset({"B2", "C7", "C8"}), "B2"),
+    }
+)
+
+
+def fig7_source_graphs() -> SourceGraphs:
+    """The un-contracted network of Fig. 7 as homogeneous source graphs.
+
+    Persons *L6* and *LB* are kin (they fuse into the paper's ``L1``);
+    directors *B5* and *B6* interlock (they fuse into ``B2``).  Fusing
+    these graphs yields a TPIIN isomorphic to :func:`fig8_tpiin` up to
+    the generated syndicate identifiers.
+    """
+    g1 = InterdependenceGraph()
+    g1.add_link("L6", "LB", InterdependenceKind.KINSHIP)
+    g1.add_link("B5", "B6", InterdependenceKind.INTERLOCKING)
+
+    g2 = InfluenceGraph()
+    g2.add_influence("L6", "C1", InfluenceKind.CEO_OF, legal_person=True)
+    g2.add_influence("LB", "C2", InfluenceKind.CEO_OF, legal_person=True)
+    g2.add_influence("LB", "C4", InfluenceKind.CEO_OF, legal_person=True)
+    g2.add_influence("L2", "C3", InfluenceKind.CEO_OF, legal_person=True)
+    g2.add_influence("L3", "C5", InfluenceKind.CEO_OF, legal_person=True)
+    g2.add_influence("B1", "C5", InfluenceKind.D_OF)
+    g2.add_influence("B1", "C6", InfluenceKind.D_OF)
+    g2.add_influence("L4", "C6", InfluenceKind.CEO_OF, legal_person=True)
+    g2.add_influence("L4", "C7", InfluenceKind.CEO_OF, legal_person=True)
+    g2.add_influence("B5", "C7", InfluenceKind.D_OF)
+    g2.add_influence("B6", "C8", InfluenceKind.D_OF)
+    g2.add_influence("L5", "C8", InfluenceKind.CEO_OF, legal_person=True)
+
+    gi = InvestmentGraph()
+    gi.add_investment("C1", "C3")
+    gi.add_investment("C2", "C5")
+
+    g4 = TradingGraph()
+    for seller, buyer in [
+        ("C5", "C6"),
+        ("C5", "C7"),
+        ("C3", "C5"),
+        ("C7", "C8"),
+        ("C8", "C4"),
+    ]:
+        g4.add_trade(seller, buyer)
+    return SourceGraphs(g1, g2, gi, g4)
+
+
+def case1_tpiin() -> TPIIN:
+    """Case 1 (Fig. 1): kin legal persons behind a producer/seller split.
+
+    After merging the brother legal persons *L1*/*L2* into the syndicate
+    ``L'``, the proof chain is the trail pair ``(L' -> C1 -> C3)`` and
+    ``(L' -> C2)`` behind the IAT ``C3 -> C2``.
+    """
+    return TPIIN.build(
+        persons=["L'"],
+        companies=["C1", "C2", "C3"],
+        influence=[("L'", "C1"), ("L'", "C2"), ("C1", "C3")],
+        trading=[("C3", "C2")],
+    )
+
+
+def case1_source_graphs() -> SourceGraphs:
+    """Case 1 before contraction: brothers L1 and L2 as separate nodes."""
+    g1 = InterdependenceGraph()
+    g1.add_link("L1", "L2", InterdependenceKind.KINSHIP)
+    g2 = InfluenceGraph()
+    g2.add_influence("L1", "C1", InfluenceKind.CEO_OF, legal_person=True)
+    g2.add_influence("L2", "C2", InfluenceKind.CEO_OF, legal_person=True)
+    g2.add_influence("L1", "C3", InfluenceKind.CB_OF, legal_person=True)
+    gi = InvestmentGraph()
+    gi.add_investment("C1", "C3")  # C1 holds all shares of C3
+    g4 = TradingGraph()
+    g4.add_trade("C3", "C2")  # all C3 products sold to C2
+    g4.add_trade("C1", "C3")  # C1 supplies raw materials to C3
+    return SourceGraphs(g1, g2, gi, g4)
+
+
+def case2_tpiin() -> TPIIN:
+    """Case 2 (Figs. 2(a)/3(a)): one investor behind both trade parties.
+
+    ``C4`` partially owns ``C5`` and ``C6``; the export ``C5 -> C6`` at
+    below-market price is the IAT.  The triangle pattern has company
+    antecedent ``C4``.
+    """
+    return TPIIN.build(
+        companies=["C4", "C5", "C6"],
+        influence=[("C4", "C5"), ("C4", "C6")],
+        trading=[("C5", "C6")],
+    )
+
+
+def case3_tpiin() -> TPIIN:
+    """Case 3 (Figs. 2(b)/3(b)): interlocked controlling investors.
+
+    ``B`` is the syndicate of the act-together investors *B3*, *B4*,
+    *B5*, controlling ``C7`` and ``C8`` (and joint venture ``C9``); the
+    BMX export ``C7 -> C8`` is the IAT.
+    """
+    return TPIIN.build(
+        persons=["B"],
+        companies=["C7", "C8", "C9"],
+        influence=[("B", "C7"), ("B", "C8"), ("B", "C9")],
+        trading=[("C7", "C8")],
+    )

@@ -1,0 +1,91 @@
+"""Business-cluster size planning for the provincial generator.
+
+The suspicious-arc share of Table 1 (~5% at every trading probability)
+is a *structural* property of the antecedent network: with uniformly
+random trading arcs, the share equals the fraction of ordered company
+pairs that share an antecedent root.  The generator realizes that
+fraction by partitioning companies into **business clusters** — each
+cluster is one controlling family's sphere, inside which every company
+descends from the family root — so the share is exactly
+
+    sum_i n_i * (n_i - 1)  /  (N * (N - 1))
+
+for cluster sizes ``n_i``.  :func:`plan_cluster_sizes` picks a mix of a
+few conglomerates and a long tail of small groups hitting a target
+share.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import DataGenError
+
+__all__ = ["plan_cluster_sizes", "ordered_pair_share"]
+
+
+def ordered_pair_share(sizes: list[int], total: int) -> float:
+    """The in-cluster ordered-pair fraction the sizes realize."""
+    if total < 2:
+        return 0.0
+    return sum(s * (s - 1) for s in sizes) / (total * (total - 1))
+
+
+def plan_cluster_sizes(
+    n_companies: int,
+    target_share: float,
+    *,
+    max_fraction: float = 0.145,
+    rng: np.random.Generator | None = None,
+) -> list[int]:
+    """Choose cluster sizes summing to ``n_companies``.
+
+    Greedy: repeatedly take the largest cluster that leaves the pair
+    budget on track (each step consumes ~42% of the remaining budget,
+    yielding a geometric conglomerate cascade like real provincial
+    economies), then fill the remainder with small groups of 2-6 and
+    singletons.  Deterministic for a given ``rng`` state.
+    """
+    if n_companies < 1:
+        raise DataGenError("n_companies must be positive")
+    if not 0.0 <= target_share < 1.0:
+        raise DataGenError("target_share must be in [0, 1)")
+    rng = rng if rng is not None else np.random.default_rng(0)
+
+    target_pairs = target_share * n_companies * max(n_companies - 1, 1)
+    max_size = max(2, int(n_companies * max_fraction))
+    sizes: list[int] = []
+    remaining_companies = n_companies
+    remaining_pairs = target_pairs
+
+    # Conglomerate cascade.
+    while remaining_pairs > 60 and remaining_companies > 8:
+        want = 0.42 * remaining_pairs
+        s = int((1 + math.sqrt(1 + 4 * want)) / 2)
+        s = min(s, max_size, remaining_companies - 4)
+        if s < 7:
+            break
+        sizes.append(s)
+        remaining_companies -= s
+        remaining_pairs -= s * (s - 1)
+
+    # Small-group tail.
+    while remaining_pairs > 2 and remaining_companies > 1:
+        s = int(rng.integers(2, 7))
+        s = min(s, remaining_companies)
+        if s < 2:
+            break
+        sizes.append(s)
+        remaining_companies -= s
+        remaining_pairs -= s * (s - 1)
+
+    # Singletons absorb the rest.
+    sizes.extend([1] * remaining_companies)
+    if sum(sizes) != n_companies:
+        raise DataGenError(
+            f"internal planning error: sizes sum to {sum(sizes)}, "
+            f"expected {n_companies}"
+        )
+    return sizes

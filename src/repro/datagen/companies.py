@@ -1,0 +1,50 @@
+"""Company-entity factories for the synthetic generators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.entities import Company
+
+__all__ = ["make_company", "INDUSTRIES", "REGIONS"]
+
+#: Industry labels drive the ITE-phase comparables: the arm's-length
+#: tests compare a transaction against its industry's margin profile.
+INDUSTRIES = (
+    "manufacturing",
+    "chemicals",
+    "electronics",
+    "textiles",
+    "wholesale",
+    "retail",
+    "logistics",
+    "pharmaceuticals",
+    "machinery",
+    "food",
+)
+
+#: ``domestic`` plus cross-border regions (Cases 2-3 are cross-border).
+REGIONS = ("domestic", "hongkong", "usa", "europe", "singapore")
+
+#: Sampling weights: most taxpayers in a provincial set are domestic.
+_REGION_WEIGHTS = (0.90, 0.04, 0.03, 0.02, 0.01)
+
+
+def make_company(
+    company_id: str,
+    rng: np.random.Generator,
+    *,
+    industry: str | None = None,
+    scale: str = "small",
+) -> Company:
+    """A company with sampled industry and region."""
+    if industry is None:
+        industry = str(rng.choice(INDUSTRIES))
+    region = str(rng.choice(REGIONS, p=_REGION_WEIGHTS))
+    return Company(
+        company_id=company_id,
+        name=f"{company_id} {industry.title()} Co.",
+        industry=industry,
+        region=region,
+        scale=scale,
+    )

@@ -1,0 +1,114 @@
+"""Influence-graph (*G2*) generation for the provincial dataset.
+
+Mirrors the conglomerate layout of :mod:`repro.datagen.investment`:
+
+* the controlling **family** takes the legal-person seats of the twin
+  holdings (and, for a configurable share of subsidiaries, direct LP
+  seats — the source of simple suspicious groups);
+* the **management company** gets a dedicated pool legal person, and a
+  few **anchor directors** sit on its board — every path from these
+  antecedents runs through ``M``, producing the stable complex-group
+  volume of Table 1;
+* remaining subsidiaries draw legal persons from the cluster pool, and
+  ordinary directors sit on one to a few boards.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datagen.config import ClusterPlan
+from repro.datagen.investment import CONGLOMERATE_MIN_SIZE
+from repro.model.colors import InfluenceKind
+from repro.model.homogeneous import InfluenceGraph
+
+__all__ = ["build_influence", "anchor_count", "LegalPersonAssignment"]
+
+LegalPersonAssignment = dict[str, str]  # company id -> legal person id
+
+
+def anchor_count(cluster_size: int, *, base: int = 3, divisor: int = 200) -> int:
+    """Management-board anchor directors for a cluster of a given size."""
+    if cluster_size < CONGLOMERATE_MIN_SIZE:
+        return 0
+    return base + cluster_size // divisor
+
+
+def build_influence(
+    clusters: list[ClusterPlan],
+    *,
+    family_direct_lp_share: float,
+    director_companies_range: tuple[int, int],
+    rng: np.random.Generator,
+    anchor_base: int = 3,
+    anchor_divisor: int = 200,
+) -> tuple[InfluenceGraph, LegalPersonAssignment]:
+    """Build *G2* and return it with the company -> LP assignment."""
+    g2 = InfluenceGraph()
+    lp_of: LegalPersonAssignment = {}
+    d_lo, d_hi = director_companies_range
+
+    def assign_lp(person: str, company: str, kind: InfluenceKind) -> None:
+        g2.add_influence(person, company, kind, legal_person=True)
+        lp_of[company] = person
+
+    for cluster in clusters:
+        companies = cluster.company_ids
+        family = cluster.family_ids
+        pool = cluster.lp_ids  # includes the family members
+        non_family_pool = [p for p in pool if p not in family] or list(family)
+        conglomerate = cluster.size >= CONGLOMERATE_MIN_SIZE
+
+        if conglomerate:
+            management, h1, h2 = companies[0], companies[1], companies[2]
+            head = family[0]
+            assign_lp(head, h1, InfluenceKind.CEO_OF)
+            assign_lp(family[1] if len(family) > 1 else head, h2, InfluenceKind.CEO_OF)
+            assign_lp(non_family_pool[0], management, InfluenceKind.CEO_OF)
+            rest = companies[3:]
+            pool_start = 1  # pool[0] serves the management company
+        else:
+            head = family[0] if family else pool[0]
+            assign_lp(head, cluster.holding, InfluenceKind.CEO_OF)
+            rest = companies[1:]
+            pool_start = 0
+
+        # Family-direct LP seats on a share of subsidiaries.
+        n_direct = int(round(len(rest) * family_direct_lp_share)) if family else 0
+        direct_set: set[int] = set()
+        if rest and n_direct:
+            direct_set = set(
+                rng.choice(len(rest), size=min(n_direct, len(rest)), replace=False)
+                .tolist()
+            )
+            for i in direct_set:
+                member = family[int(rng.integers(0, len(family)))]
+                assign_lp(member, rest[i], InfluenceKind.CEO_AND_D_OF)
+
+        # Remaining subsidiaries: pool LPs, each pool member served first.
+        assignable = [i for i in range(len(rest)) if i not in direct_set]
+        rng.shuffle(assignable)
+        cycle = non_family_pool[pool_start:] or non_family_pool
+        for slot, i in enumerate(assignable):
+            lp = (
+                cycle[slot]
+                if slot < len(cycle)
+                else cycle[int(rng.integers(0, len(cycle)))]
+            )
+            assign_lp(lp, rest[i], InfluenceKind.CEO_OF)
+
+        # Directors: anchors on the management board, the rest ordinary.
+        n_anchors = 0
+        if conglomerate:
+            n_anchors = min(
+                len(cluster.director_ids),
+                anchor_count(cluster.size, base=anchor_base, divisor=anchor_divisor),
+            )
+            for director in cluster.director_ids[:n_anchors]:
+                g2.add_influence(director, companies[0], InfluenceKind.D_OF)
+        for director in cluster.director_ids[n_anchors:]:
+            m = min(int(rng.integers(d_lo, d_hi + 1)), len(companies))
+            picks = rng.choice(len(companies), size=m, replace=False)
+            for pick in picks:
+                g2.add_influence(director, companies[int(pick)], InfluenceKind.D_OF)
+    return g2, lp_of

@@ -1,0 +1,47 @@
+"""Interdependence-link (*G1*) generation for the provincial dataset.
+
+Two link kinds arise (Section 3.1's cases): **kinship** ties the members
+of each cluster's controlling family together (they will contract into
+one family syndicate, the common antecedent of the cluster), and
+**interlocking** ties act-together directors of the same cluster.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datagen.config import ClusterPlan
+from repro.model.colors import InterdependenceKind
+from repro.model.homogeneous import InterdependenceGraph
+
+__all__ = ["build_interdependence"]
+
+
+def build_interdependence(
+    clusters: list[ClusterPlan],
+    all_person_ids: list[str],
+    interlock_probability: float,
+    rng: np.random.Generator,
+) -> InterdependenceGraph:
+    """Build *G1*: kinship chains per family, sparse director interlocks.
+
+    Every person appears as a node (matching the Fig. 11 caption, which
+    counts all 776 directors and 1,350 legal persons); only family
+    members and interlocked director pairs carry links.
+    """
+    g1 = InterdependenceGraph()
+    for person_id in all_person_ids:
+        g1.add_person(person_id)
+    for cluster in clusters:
+        family = cluster.family_ids
+        for left, right in zip(family, family[1:]):
+            g1.add_link(left, right, InterdependenceKind.KINSHIP)
+        directors = cluster.director_ids
+        # Disjoint pairs only: interlocks form small syndicates, not one
+        # giant merged director blob.
+        for i in range(0, len(directors) - 1, 2):
+            if rng.random() < interlock_probability:
+                g1.add_link(
+                    directors[i], directors[i + 1], InterdependenceKind.INTERLOCKING
+                )
+    return g1

@@ -1,0 +1,96 @@
+"""Investment-graph (*GI*/*G3*) generation for the provincial dataset.
+
+Clusters of six or more companies use a **conglomerate layout**::
+
+    M (management co.)  ->  H1, H2 (twin holdings)  ->  subsidiaries
+
+Each subsidiary attaches to one or both holdings; a small number of
+deeper forward cross arcs adds chain texture.  The twin-holding diamond
+is what produces interior-disjoint trail pairs (simple groups), while
+every path from the management company shares ``M`` (complex groups) —
+the balance behind Table 1's stable complex-to-simple ratio (see the
+calibration notes in DESIGN.md).
+
+Smaller clusters use a plain investment tree under a single holding.
+Index order keeps every cluster acyclic; optional mutual-investment
+pairs inject cycles to exercise the SCS-contraction path (the paper's
+province had none).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datagen.config import ClusterPlan
+from repro.model.homogeneous import InvestmentGraph
+
+__all__ = ["build_investment", "CONGLOMERATE_MIN_SIZE"]
+
+#: Clusters at least this large get the M + twin-holding layout.
+CONGLOMERATE_MIN_SIZE = 6
+
+
+def build_investment(
+    clusters: list[ClusterPlan],
+    *,
+    extra_arc_share: float,
+    mutual_pairs: int,
+    rng: np.random.Generator,
+    attach_both_probability: float = 0.6,
+) -> InvestmentGraph:
+    gi = InvestmentGraph()
+    for cluster in clusters:
+        for company_id in cluster.company_ids:
+            gi.add_company(company_id)
+        ids = cluster.company_ids
+        n = len(ids)
+        if n < 2:
+            continue
+        if n >= CONGLOMERATE_MIN_SIZE:
+            management, h1, h2 = ids[0], ids[1], ids[2]
+            gi.add_investment(management, h1)
+            gi.add_investment(management, h2)
+            indegree = {cid: 0 for cid in ids}
+            indegree[h1] = indegree[h2] = 1
+            for cid in ids[3:]:
+                if rng.random() < attach_both_probability:
+                    gi.add_investment(h1, cid)
+                    gi.add_investment(h2, cid)
+                    indegree[cid] = 2
+                else:
+                    holding = h1 if rng.random() < 0.5 else h2
+                    gi.add_investment(holding, cid)
+                    indegree[cid] = 1
+            # Deeper forward cross arcs (subsidiary -> later subsidiary),
+            # indegree-capped so path multiplicity stays bounded.
+            extra = int(round((n - 3) * extra_arc_share))
+            for _ in range(max(0, extra)):
+                if n <= 4:
+                    break
+                i = int(rng.integers(3, n - 1))
+                j = int(rng.integers(i + 1, n))
+                if indegree[ids[j]] >= 3:
+                    continue
+                if gi.add_investment(ids[i], ids[j]):
+                    indegree[ids[j]] += 1
+        else:
+            # Small group: plain tree under the first company.
+            for k in range(1, n):
+                parent = 0 if rng.random() < 0.6 else int(rng.integers(0, k))
+                gi.add_investment(ids[parent], ids[k])
+
+    # Cycles on demand (exercises Tarjan + SCS contraction downstream).
+    eligible = [c for c in clusters if c.size >= 3]
+    for k in range(mutual_pairs):
+        if not eligible:
+            break
+        cluster = eligible[k % len(eligible)]
+        ids = cluster.company_ids
+        i = int(rng.integers(1, len(ids)))
+        j = int(rng.integers(1, len(ids)))
+        if i == j:
+            j = 1 if i != 1 else 2
+        lo, hi = min(i, j), max(i, j)
+        gi.add_investment(ids[lo], ids[hi])
+        gi.add_investment(ids[hi], ids[lo])
+    return gi

@@ -1,0 +1,46 @@
+"""Person-entity factories for the synthetic generators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.entities import Person
+from repro.model.roles import Role
+
+__all__ = ["make_legal_person", "make_director", "GIVEN_NAMES", "SURNAMES"]
+
+# Small pinyin pools; names are cosmetic (reports and examples only).
+SURNAMES = (
+    "Wang", "Li", "Zhang", "Liu", "Chen", "Yang", "Zhao", "Huang",
+    "Zhou", "Wu", "Xu", "Sun", "Hu", "Zhu", "Gao", "Lin",
+)
+GIVEN_NAMES = (
+    "Wei", "Fang", "Min", "Jing", "Lei", "Qiang", "Yan", "Jun",
+    "Ying", "Hua", "Ping", "Gang", "Na", "Bo", "Xin", "Tao",
+)
+
+
+def _name(rng: np.random.Generator) -> str:
+    return f"{rng.choice(SURNAMES)} {rng.choice(GIVEN_NAMES)}"
+
+
+def make_legal_person(
+    person_id: str,
+    companies: tuple[str, ...],
+    rng: np.random.Generator,
+    *,
+    chairman: bool = False,
+) -> Person:
+    """A legal person: CEO (optionally also chairman) of its companies."""
+    role = Role.CEO | Role.CB if chairman else Role.CEO | Role.D
+    return Person(
+        person_id=person_id,
+        name=_name(rng),
+        role=role,
+        legal_person_of=companies,
+    )
+
+
+def make_director(person_id: str, rng: np.random.Generator) -> Person:
+    """A board director without a legal-person designation."""
+    return Person(person_id=person_id, name=_name(rng), role=Role.D)

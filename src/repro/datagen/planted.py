@@ -1,0 +1,187 @@
+"""Planted evasion rings: graph-level ground truth for recovery tests.
+
+Section 3.2 catalogues the shapes suspicious groups take — triangle,
+quadrilateral, pentagon and hexagon (Fig. 3) plus the
+interlocking-syndicate variant (Fig. 3(b)).  This module injects fresh,
+known instances of each shape into existing source networks, so that an
+end-to-end run can measure *structure recovery*: every planted ring
+must come back as a simple suspicious group with exactly the planted
+membership, regardless of how much background network surrounds it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DataGenError
+from repro.fusion.tpiin import TPIIN
+from repro.mining.detector import DetectionResult
+from repro.model.colors import InfluenceKind, InterdependenceKind
+from repro.model.homogeneous import (
+    InfluenceGraph,
+    InterdependenceGraph,
+    InvestmentGraph,
+    TradingGraph,
+)
+
+__all__ = ["PlantedRing", "RING_SHAPES", "plant_evasion_rings", "recovered_rings"]
+
+#: The group shapes of Fig. 3, by total node count of the simple group.
+RING_SHAPES = (
+    "triangle",
+    "interlocking",  # Fig. 3(b): syndicate antecedent
+    "quadrilateral",
+    "pentagon",
+    "hexagon",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class PlantedRing:
+    """One injected evasion structure and its expected detection."""
+
+    ring_id: str
+    shape: str
+    persons: tuple[str, ...]  # raw persons (pre-contraction)
+    companies: tuple[str, ...]
+    trading_arc: tuple[str, str]
+
+    def expected_members(self, tpiin: TPIIN) -> frozenset:
+        """The group membership after fusion (persons may have merged)."""
+        mapped = {tpiin.node_map.get(p, p) for p in self.persons}
+        return frozenset(mapped) | frozenset(self.companies)
+
+
+def plant_evasion_rings(
+    interdependence: InterdependenceGraph,
+    influence: InfluenceGraph,
+    investment: InvestmentGraph,
+    trading: TradingGraph,
+    *,
+    count: int,
+    shapes: tuple[str, ...] = RING_SHAPES,
+    rng: np.random.Generator | None = None,
+    id_prefix: str = "RING",
+) -> list[PlantedRing]:
+    """Inject ``count`` rings (cycling through ``shapes``) in place.
+
+    Every ring uses fresh, prefixed person/company identifiers, so the
+    planted structures are disjoint from the background network and
+    from each other: the planted trading arc's *minimal* proof chain is
+    exactly the planted ring.
+    """
+    if count < 0:
+        raise DataGenError("count must be non-negative")
+    unknown = set(shapes) - set(RING_SHAPES)
+    if unknown:
+        raise DataGenError(f"unknown ring shapes: {sorted(unknown)}")
+    rng = rng if rng is not None else np.random.default_rng(0)
+
+    rings: list[PlantedRing] = []
+    for index in range(count):
+        shape = shapes[index % len(shapes)]
+        tag = f"{id_prefix}{index:03d}"
+        builder = _BUILDERS[shape]
+        rings.append(builder(tag, interdependence, influence, investment, trading))
+    return rings
+
+
+def _lp(influence: InfluenceGraph, person: str, company: str) -> None:
+    influence.add_influence(person, company, InfluenceKind.CEO_OF, legal_person=True)
+
+
+def _director(influence: InfluenceGraph, person: str, company: str) -> None:
+    influence.add_influence(person, company, InfluenceKind.D_OF)
+
+
+def _triangle(tag, g1, g2, gi, g4) -> PlantedRing:
+    """Fig. 3(a) with a person antecedent: P -> X, P -> Y, trade X -> Y."""
+    p, x, y = f"{tag}_P", f"{tag}_X", f"{tag}_Y"
+    _lp(g2, p, x)
+    _lp(g2, p, y)
+    g4.add_trade(x, y)
+    return PlantedRing(tag, "triangle", (p,), (x, y), (x, y))
+
+
+def _interlocking(tag, g1, g2, gi, g4) -> PlantedRing:
+    """Fig. 3(b): interlocked directors merge into the antecedent B."""
+    b1, b2 = f"{tag}_B1", f"{tag}_B2"
+    x, y = f"{tag}_X", f"{tag}_Y"
+    g1.add_link(b1, b2, InterdependenceKind.INTERLOCKING)
+    _lp(g2, b1, x)
+    _lp(g2, b2, y)
+    g4.add_trade(x, y)
+    return PlantedRing(tag, "interlocking", (b1, b2), (x, y), (x, y))
+
+
+def _quadrilateral(tag, g1, g2, gi, g4) -> PlantedRing:
+    """P -> H -> X (investment), P -> Y; trade X -> Y."""
+    p = f"{tag}_P"
+    h, x, y = f"{tag}_H", f"{tag}_X", f"{tag}_Y"
+    _lp(g2, p, h)
+    _lp(g2, p, y)
+    _lp(g2, f"{tag}_LX", x)  # x needs its own LP; not part of the ring
+    gi.add_investment(h, x)
+    g4.add_trade(x, y)
+    return PlantedRing(tag, "quadrilateral", (p,), (h, x, y), (x, y))
+
+
+def _pentagon(tag, g1, g2, gi, g4) -> PlantedRing:
+    """P -> H1 -> X and P -> H2 -> Y; trade X -> Y."""
+    p = f"{tag}_P"
+    h1, h2, x, y = (f"{tag}_H1", f"{tag}_H2", f"{tag}_X", f"{tag}_Y")
+    _lp(g2, p, h1)
+    _lp(g2, p, h2)
+    _lp(g2, f"{tag}_LX", x)
+    _lp(g2, f"{tag}_LY", y)
+    gi.add_investment(h1, x)
+    gi.add_investment(h2, y)
+    g4.add_trade(x, y)
+    return PlantedRing(tag, "pentagon", (p,), (h1, h2, x, y), (x, y))
+
+
+def _hexagon(tag, g1, g2, gi, g4) -> PlantedRing:
+    """P -> H1 -> H2 -> X and P -> H3 -> Y; trade X -> Y."""
+    p = f"{tag}_P"
+    h1, h2, h3 = f"{tag}_H1", f"{tag}_H2", f"{tag}_H3"
+    x, y = f"{tag}_X", f"{tag}_Y"
+    _lp(g2, p, h1)
+    _lp(g2, p, h3)
+    _lp(g2, f"{tag}_LH2", h2)
+    _lp(g2, f"{tag}_LX", x)
+    _lp(g2, f"{tag}_LY", y)
+    gi.add_investment(h1, h2)
+    gi.add_investment(h2, x)
+    gi.add_investment(h3, y)
+    g4.add_trade(x, y)
+    return PlantedRing(tag, "hexagon", (p,), (h1, h2, h3, x, y), (x, y))
+
+
+_BUILDERS = {
+    "triangle": _triangle,
+    "interlocking": _interlocking,
+    "quadrilateral": _quadrilateral,
+    "pentagon": _pentagon,
+    "hexagon": _hexagon,
+}
+
+
+def recovered_rings(
+    rings: list[PlantedRing], result: DetectionResult, tpiin: TPIIN
+) -> dict[str, bool]:
+    """Which planted rings came back as a group with exact membership.
+
+    A ring is recovered when its trading arc is suspicious *and* some
+    simple group over that arc has exactly the planted member set
+    (after mapping merged persons through the fusion node map).
+    """
+    recovery: dict[str, bool] = {}
+    for ring in rings:
+        expected = ring.expected_members(tpiin)
+        groups = result.groups_for_arc(ring.trading_arc)
+        recovery[ring.ring_id] = any(
+            group.is_simple and group.members == expected for group in groups
+        )
+    return recovery

@@ -1,0 +1,23 @@
+"""Multi-network fusion: homogeneous graphs -> TPIIN (Section 4.1, Fig. 5)."""
+
+from repro.fusion.contraction import (
+    ContractionResult,
+    contract_edge_once,
+    contract_interdependence,
+)
+from repro.fusion.pipeline import FusionResult, StageStats, fuse
+from repro.fusion.scc import SccContractionResult, contract_strongly_connected
+from repro.fusion.tpiin import TPIIN, TPIINStats
+
+__all__ = [
+    "ContractionResult",
+    "FusionResult",
+    "SccContractionResult",
+    "StageStats",
+    "TPIIN",
+    "TPIINStats",
+    "contract_edge_once",
+    "contract_interdependence",
+    "contract_strongly_connected",
+    "fuse",
+]

@@ -1,0 +1,118 @@
+"""Strongly-connected-subgraph (SCS) contraction (``GB -> G123``).
+
+Mutual and circular investment arrangements (Fig. A-3/A-4 of the paper's
+appendix) put directed cycles into the combined influence + investment
+graph ``GB``.  Section 4.1 removes them in two steps: detect every
+strongly connected subgraph of the investment graph with Tarjan's
+algorithm [26] and *save it*, then contract each SCS into a single
+*Company* syndicate.  The result ``G123`` — the **antecedent network** —
+is a DAG whose arcs all carry the influence color.
+
+The saved SCSs matter later: a trading arc between two companies of the
+same SCS is suspicious by construction (Section 4.3's closing remark),
+and the detector re-emits those arcs from the provenance kept here.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.graph.digraph import DiGraph, Node
+from repro.graph.tarjan import nontrivial_sccs
+from repro.model.colors import VColor
+from repro.model.entities import Syndicate
+
+__all__ = ["SccContractionResult", "contract_strongly_connected", "default_scs_namer"]
+
+
+@dataclass
+class SccContractionResult:
+    """Outcome of contracting the strongly connected investment subgraphs.
+
+    Attributes
+    ----------
+    graph:
+        The contracted DAG (all arcs keep their original colors; the
+        pipeline recolors them to ``IN`` when assembling the TPIIN).
+    node_map:
+        original company id -> surviving node id.
+    syndicates:
+        Company syndicates created, keyed by syndicate id.
+    saved_subgraphs:
+        For each syndicate id, the induced subgraph of its members as it
+        existed before contraction (the paper's "save it" step).
+    """
+
+    graph: DiGraph
+    node_map: dict[Node, Node] = field(default_factory=dict)
+    syndicates: dict[Node, Syndicate] = field(default_factory=dict)
+    saved_subgraphs: dict[Node, DiGraph] = field(default_factory=dict)
+
+    def resolve(self, node: Node) -> Node:
+        return self.node_map.get(node, node)
+
+
+def default_scs_namer(members: frozenset[Node]) -> str:
+    """Deterministic company-syndicate id from the merged member ids."""
+    return "scs:" + "+".join(sorted(str(m) for m in members))
+
+
+def contract_strongly_connected(
+    graph: DiGraph,
+    *,
+    cycle_color: object = None,
+    namer: Callable[[frozenset[Node]], str] = default_scs_namer,
+) -> SccContractionResult:
+    """Contract each nontrivial SCS of ``graph`` into one syndicate node.
+
+    ``cycle_color`` restricts cycle detection to arcs of one color (the
+    investment color in the fusion pipeline); pass ``None`` to consider
+    every arc.  Arcs internal to an SCS disappear from the output but
+    survive inside ``saved_subgraphs``; arcs crossing between different
+    SCSs (or between an SCS and an untouched node) are reattached to the
+    syndicate endpoints, dropping duplicates.
+    """
+    components = nontrivial_sccs(graph, cycle_color)
+    node_map: dict[Node, Node] = {}
+    syndicates: dict[Node, Syndicate] = {}
+    saved: dict[Node, DiGraph] = {}
+    for component in components:
+        members = frozenset(component)
+        if len(members) == 1:
+            # A self-loop "cycle": contract in place — the node survives
+            # under its own id, the loop arc is dropped (and saved).
+            node = next(iter(members))
+            node_map[node] = node
+            saved[node] = graph.subgraph(members)
+            continue
+        syndicate_id = namer(members)
+        syndicates[syndicate_id] = Syndicate(
+            syndicate_id=syndicate_id,
+            members=frozenset(str(m) for m in members),
+            kind="company",
+            via=frozenset({"mutual-investment"}),
+        )
+        saved[syndicate_id] = graph.subgraph(members)
+        for member in members:
+            node_map[member] = syndicate_id
+
+    contracted = DiGraph()
+    for node in graph.nodes():
+        target = node_map.get(node)
+        if target is None or target == node:
+            contracted.add_node(node, graph.node_color(node))
+    for syndicate_id in syndicates:
+        contracted.add_node(syndicate_id, VColor.COMPANY)
+    for tail, head, color in graph.arcs():
+        new_tail = node_map.get(tail, tail)
+        new_head = node_map.get(head, head)
+        if new_tail == new_head:
+            continue  # internal to one SCS: saved, not carried over
+        contracted.add_arc(new_tail, new_head, color)
+    return SccContractionResult(
+        graph=contracted,
+        node_map=node_map,
+        syndicates=syndicates,
+        saved_subgraphs=saved,
+    )

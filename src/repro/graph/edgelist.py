@@ -1,0 +1,201 @@
+"""The paper's ``r x 3`` edge-list representation.
+
+Algorithm 1 takes its TPIIN as an array ``tpiin`` of shape ``(r, 3)``:
+column 0 is the arc's start-node index, column 1 the end-node index and
+column 2 the arc color code, where the paper's convention is ``0 = black``
+(trading relationship) and ``1 = blue`` (influence relationship).  The
+first ``m - 1`` rows hold the antecedent network and the remaining rows
+the trading network.
+
+:class:`EdgeList` wraps that array together with the mapping between
+integer indices and the caller's node identifiers, and converts to and
+from :class:`~repro.graph.digraph.DiGraph`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.errors import SerializationError
+from repro.graph.digraph import DiGraph, Node
+
+__all__ = ["EdgeList", "COLOR_TRADING", "COLOR_INFLUENCE"]
+
+#: Paper color codes for column 2 of the ``tpiin`` array.
+COLOR_TRADING = 0  # "black" arcs
+COLOR_INFLUENCE = 1  # "blue" arcs
+
+
+class EdgeList:
+    """An ``(r, 3)`` integer arc array plus a node-id dictionary.
+
+    Rows are ``(start_index, end_index, color_code)``.  The class keeps
+    the paper's layout discipline: influence rows first, trading rows
+    after, with :attr:`first_trading_row` playing the role of the paper's
+    ``m`` marker.
+    """
+
+    def __init__(
+        self,
+        array: np.ndarray,
+        index_to_node: Sequence[Node],
+        *,
+        node_colors: Mapping[Node, Any] | None = None,
+    ) -> None:
+        array = np.asarray(array, dtype=np.int64)
+        if array.ndim != 2 or array.shape[1] != 3:
+            raise SerializationError(
+                f"edge list must have shape (r, 3); got {array.shape}"
+            )
+        if array.size and (array[:, :2].min() < 0 or array[:, :2].max() >= len(index_to_node)):
+            raise SerializationError("edge list references an out-of-range node index")
+        bad = set(np.unique(array[:, 2])) - {COLOR_TRADING, COLOR_INFLUENCE}
+        if bad:
+            raise SerializationError(f"unknown color codes in edge list: {sorted(bad)}")
+        self._array = array
+        self._index_to_node: list[Node] = list(index_to_node)
+        self._node_to_index: dict[Node, int] = {
+            node: i for i, node in enumerate(self._index_to_node)
+        }
+        if len(self._node_to_index) != len(self._index_to_node):
+            raise SerializationError("duplicate node identifiers in edge list mapping")
+        self._node_colors = dict(node_colors) if node_colors else {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_digraph(
+        cls,
+        graph: DiGraph,
+        *,
+        influence_color: Any,
+        trading_color: Any,
+    ) -> "EdgeList":
+        """Build the paper layout from a two-arc-color :class:`DiGraph`.
+
+        Influence arcs are emitted first (rows ``0 .. m-2``), trading arcs
+        after, matching Algorithm 1's expectation.  Arc colors other than
+        the two given ones are rejected.
+        """
+        index_to_node = list(graph.nodes())
+        node_to_index = {node: i for i, node in enumerate(index_to_node)}
+        influence_rows: list[tuple[int, int, int]] = []
+        trading_rows: list[tuple[int, int, int]] = []
+        for tail, head, color in graph.arcs():
+            row = (node_to_index[tail], node_to_index[head])
+            if color == influence_color:
+                influence_rows.append((*row, COLOR_INFLUENCE))
+            elif color == trading_color:
+                trading_rows.append((*row, COLOR_TRADING))
+            else:
+                raise SerializationError(
+                    f"arc color {color!r} is neither the influence color "
+                    f"{influence_color!r} nor the trading color {trading_color!r}"
+                )
+        rows = influence_rows + trading_rows
+        array = (
+            np.array(rows, dtype=np.int64)
+            if rows
+            else np.empty((0, 3), dtype=np.int64)
+        )
+        colors = {node: graph.node_color(node) for node in index_to_node}
+        return cls(array, index_to_node, node_colors=colors)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def array(self) -> np.ndarray:
+        """The raw ``(r, 3)`` array (a defensive copy is *not* taken)."""
+        return self._array
+
+    @property
+    def nodes(self) -> list[Node]:
+        return list(self._index_to_node)
+
+    @property
+    def number_of_arcs(self) -> int:
+        return int(self._array.shape[0])
+
+    @property
+    def number_of_nodes(self) -> int:
+        return len(self._index_to_node)
+
+    def node_at(self, index: int) -> Node:
+        return self._index_to_node[index]
+
+    def index_of(self, node: Node) -> int:
+        return self._node_to_index[node]
+
+    @property
+    def first_trading_row(self) -> int:
+        """Index of the first trading row (the paper's ``m - 1``).
+
+        Equals :attr:`number_of_arcs` when there are no trading rows.
+        Raises when the layout discipline (influence before trading) is
+        violated, since Algorithm 1's split would then be wrong.
+        """
+        colors = self._array[:, 2]
+        trading = np.flatnonzero(colors == COLOR_TRADING)
+        if trading.size == 0:
+            return self.number_of_arcs
+        first = int(trading[0])
+        if np.any(colors[first:] != COLOR_TRADING):
+            raise SerializationError(
+                "edge list violates the paper layout: an influence row "
+                "appears after the first trading row"
+            )
+        return first
+
+    def antecedent_rows(self) -> np.ndarray:
+        """The influence block (the paper's ``Antecedent`` matrix)."""
+        return self._array[: self.first_trading_row]
+
+    def trading_rows(self) -> np.ndarray:
+        """The trading block (the paper's ``Trade`` matrix)."""
+        return self._array[self.first_trading_row :]
+
+    # ------------------------------------------------------------------
+    # conversion
+    # ------------------------------------------------------------------
+    def to_digraph(
+        self,
+        *,
+        influence_color: Any = COLOR_INFLUENCE,
+        trading_color: Any = COLOR_TRADING,
+        include_nodes: Iterable[Node] | None = None,
+    ) -> DiGraph:
+        """Materialize a :class:`DiGraph` with the caller's color labels.
+
+        ``include_nodes`` may add isolated nodes (the edge list alone
+        cannot represent them unless they are in the index mapping, which
+        they always are for lists built by :meth:`from_digraph`).
+        """
+        graph = DiGraph()
+        for node in self._index_to_node:
+            graph.add_node(node, self._node_colors.get(node))
+        if include_nodes is not None:
+            for node in include_nodes:
+                graph.add_node(node, self._node_colors.get(node))
+        for tail_ix, head_ix, code in self._array:
+            color = influence_color if code == COLOR_INFLUENCE else trading_color
+            graph.add_arc(
+                self._index_to_node[int(tail_ix)],
+                self._index_to_node[int(head_ix)],
+                color,
+            )
+        return graph
+
+    def __len__(self) -> int:
+        return self.number_of_arcs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<EdgeList arcs={self.number_of_arcs} "
+            f"nodes={self.number_of_nodes} "
+            f"influence={self.first_trading_row}>"
+        )

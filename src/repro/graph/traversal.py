@@ -1,0 +1,181 @@
+"""Graph traversal primitives.
+
+Implements the ``findsubgraph()`` routine of Appendix B — an improved
+depth-first search that extracts the *maximal weakly connected subgraphs*
+(MWCS) of the antecedent network for Algorithm 1's divide-and-conquer
+segmentation — together with generic DFS/BFS orders and reachability
+helpers used across the mining package.
+
+All traversals are iterative: the provincial antecedent network contains
+influence chains long enough to overflow Python's recursion limit if a
+naive recursive DFS were used.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Iterator
+from typing import Any
+
+from repro.errors import NodeNotFoundError
+from repro.graph.digraph import DiGraph, Node
+
+__all__ = [
+    "dfs_preorder",
+    "bfs_order",
+    "weakly_connected_components",
+    "find_subgraphs",
+    "descendants",
+    "ancestors",
+    "has_path",
+]
+
+
+def dfs_preorder(graph: DiGraph, start: Node, color: Any = None) -> Iterator[Node]:
+    """Yield nodes in depth-first preorder from ``start``.
+
+    Only arcs of ``color`` are followed when a color is given.  Successors
+    are visited in insertion order, which keeps traversals deterministic
+    for a deterministically built graph.
+    """
+    if not graph.has_node(start):
+        raise NodeNotFoundError(start)
+    seen = {start}
+    stack: list[Node] = [start]
+    while stack:
+        node = stack.pop()
+        yield node
+        # Reversed so the first-inserted successor is explored first.
+        for nxt in reversed(list(graph.successors(node, color))):
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append(nxt)
+
+
+def bfs_order(graph: DiGraph, start: Node, color: Any = None) -> Iterator[Node]:
+    """Yield nodes in breadth-first order from ``start``."""
+    if not graph.has_node(start):
+        raise NodeNotFoundError(start)
+    seen = {start}
+    queue: deque[Node] = deque([start])
+    while queue:
+        node = queue.popleft()
+        yield node
+        for nxt in graph.successors(node, color):
+            if nxt not in seen:
+                seen.add(nxt)
+                queue.append(nxt)
+
+
+def weakly_connected_components(
+    graph: DiGraph, color: Any = None, *, include_isolated: bool = True
+) -> list[set[Node]]:
+    """Maximal weakly connected components of a directed graph.
+
+    Two nodes are weakly connected when a path exists between them after
+    forgetting arc directions.  With ``color`` given, only arcs of that
+    color define connectivity (other arcs are ignored); this is exactly
+    the segmentation step 3 of Algorithm 1, which partitions the
+    *antecedent* arcs while trading arcs are reattached later.
+
+    ``include_isolated`` controls whether nodes with no incident
+    (color-matching) arc are returned as singleton components.
+    """
+    seen: set[Node] = set()
+    components: list[set[Node]] = []
+    for start in graph.nodes():
+        if start in seen:
+            continue
+        if not include_isolated:
+            if graph.out_degree(start, color) == 0 and graph.in_degree(start, color) == 0:
+                continue
+        component = {start}
+        seen.add(start)
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for nxt in graph.successors(node, color):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    component.add(nxt)
+                    stack.append(nxt)
+            for prv in graph.predecessors(node, color):
+                if prv not in seen:
+                    seen.add(prv)
+                    component.add(prv)
+                    stack.append(prv)
+        components.append(component)
+    return components
+
+
+def find_subgraphs(graph: DiGraph, color: Any = None) -> list[DiGraph]:
+    """The paper's ``findsubgraph()``: MWCS of ``graph`` as induced subgraphs.
+
+    Returns one induced :class:`DiGraph` per maximal weakly connected
+    component, ordered by first-seen node, so that ``subTPIIN(i)`` indexes
+    are stable across runs.
+    """
+    return [graph.subgraph(c) for c in weakly_connected_components(graph, color)]
+
+
+def descendants(graph: DiGraph, start: Node, color: Any = None) -> set[Node]:
+    """All nodes reachable from ``start`` (excluding ``start`` itself)."""
+    reached = set(dfs_preorder(graph, start, color))
+    reached.discard(start)
+    return reached
+
+
+def ancestors(graph: DiGraph, start: Node, color: Any = None) -> set[Node]:
+    """All nodes that can reach ``start`` (excluding ``start`` itself)."""
+    if not graph.has_node(start):
+        raise NodeNotFoundError(start)
+    seen = {start}
+    stack = [start]
+    while stack:
+        node = stack.pop()
+        for prv in graph.predecessors(node, color):
+            if prv not in seen:
+                seen.add(prv)
+                stack.append(prv)
+    seen.discard(start)
+    return seen
+
+
+def has_path(graph: DiGraph, source: Node, target: Node, color: Any = None) -> bool:
+    """True when a directed path ``source ~> target`` exists.
+
+    A node always has a (trivial) path to itself.
+    """
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+    if not graph.has_node(target):
+        raise NodeNotFoundError(target)
+    if source == target:
+        return True
+    for node in dfs_preorder(graph, source, color):
+        if node == target:
+            return True
+    return False
+
+
+def restricted_reachable(
+    graph: DiGraph, start: Node, allowed: Iterable[Node], color: Any = None
+) -> set[Node]:
+    """Nodes reachable from ``start`` moving only through ``allowed`` nodes.
+
+    ``start`` is implicitly allowed.  Used by the SCS-internal suspicious
+    trade detection, which must certify that an influence trail exists
+    *inside* one strongly connected syndicate.
+    """
+    allowed_set = set(allowed)
+    allowed_set.add(start)
+    seen = {start}
+    stack = [start]
+    while stack:
+        node = stack.pop()
+        for nxt in graph.successors(node, color):
+            if nxt in allowed_set and nxt not in seen:
+                seen.add(nxt)
+                stack.append(nxt)
+    seen.discard(start)
+    return seen

@@ -1,0 +1,116 @@
+"""Single-file JSON persistence of a fully fused TPIIN.
+
+The CSV formats cover the graph itself; a production deployment also
+needs the fusion *by-products* — contraction provenance (``node_map``),
+the saved strongly connected investment subgraphs, intra-SCS trades and
+per-arc relationship labels — so that a TPIIN fused once (expensive,
+against live registries) can be mined, explained and investigated many
+times elsewhere.  :func:`write_tpiin_bundle` / :func:`read_tpiin_bundle`
+round-trip all of it through one JSON document.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import SerializationError
+from repro.fusion.tpiin import TPIIN
+from repro.graph.digraph import DiGraph
+from repro.model.colors import EColor, VColor
+
+__all__ = ["write_tpiin_bundle", "read_tpiin_bundle", "BUNDLE_FORMAT_VERSION"]
+
+BUNDLE_FORMAT_VERSION = 1
+
+
+def _graph_payload(graph: DiGraph) -> dict:
+    return {
+        "nodes": [
+            [str(node), getattr(graph.node_color(node), "value", graph.node_color(node))]
+            for node in graph.nodes()
+        ],
+        "arcs": [
+            [str(tail), str(head), getattr(color, "value", str(color))]
+            for tail, head, color in graph.arcs()
+        ],
+    }
+
+
+def _graph_from_payload(payload: dict, *, color_lookup) -> DiGraph:
+    graph = DiGraph()
+    try:
+        for node, color in payload["nodes"]:
+            graph.add_node(node, VColor(color) if color else None)
+        for tail, head, color in payload["arcs"]:
+            graph.add_arc(tail, head, color_lookup(color))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed graph payload: {exc}") from exc
+    return graph
+
+
+def write_tpiin_bundle(tpiin: TPIIN, path: str | Path) -> Path:
+    """Serialize the TPIIN and its fusion by-products as one JSON file."""
+    path = Path(path)
+    payload = {
+        "format_version": BUNDLE_FORMAT_VERSION,
+        "graph": _graph_payload(tpiin.graph),
+        "node_map": {str(k): str(v) for k, v in tpiin.node_map.items()},
+        "intra_scs_trades": [[str(a), str(b)] for a, b in tpiin.intra_scs_trades],
+        "scs_subgraphs": {
+            str(scs_id): _graph_payload(subgraph)
+            for scs_id, subgraph in tpiin.scs_subgraphs.items()
+        },
+        "arc_provenance": [
+            [str(t), str(h), sorted(labels)]
+            for (t, h), labels in tpiin.arc_provenance.items()
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=1))
+    return path
+
+
+def read_tpiin_bundle(path: str | Path) -> TPIIN:
+    """Load a bundle back into a validated :class:`TPIIN`."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"{path} is not valid JSON") from exc
+    if not isinstance(payload, dict):
+        raise SerializationError(f"{path}: expected a JSON object")
+    version = payload.get("format_version")
+    if version != BUNDLE_FORMAT_VERSION:
+        raise SerializationError(
+            f"{path}: unsupported bundle format version {version!r}"
+        )
+
+    def fused_color(label: str) -> EColor:
+        return EColor(label)
+
+    try:
+        graph = _graph_from_payload(payload["graph"], color_lookup=fused_color)
+        node_map = {str(k): str(v) for k, v in payload.get("node_map", {}).items()}
+        intra = [
+            (str(a), str(b)) for a, b in payload.get("intra_scs_trades", [])
+        ]
+        scs = {
+            str(scs_id): _graph_from_payload(sub, color_lookup=lambda c: c)
+            for scs_id, sub in payload.get("scs_subgraphs", {}).items()
+        }
+        provenance = {
+            (str(t), str(h)): frozenset(labels)
+            for t, h, labels in payload.get("arc_provenance", [])
+        }
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"{path}: malformed bundle: {exc}") from exc
+
+    tpiin = TPIIN(
+        graph=graph,
+        node_map=node_map,
+        intra_scs_trades=intra,
+        scs_subgraphs=scs,
+        arc_provenance=provenance,
+    )
+    tpiin.validate()
+    return tpiin

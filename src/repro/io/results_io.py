@@ -1,0 +1,133 @@
+"""Detection-result persistence: the paper's output files plus JSON.
+
+Algorithm 1 emits per-subTPIIN files ``susGroup(i)`` (all suspicious
+groups mined from the i-th subTPIIN) and ``susTrade(i)`` (the suspicious
+trading arcs).  :func:`write_sus_files` reproduces that layout for the
+faithful engine and writes a single aggregated pair for engines that do
+not track per-subTPIIN provenance.  :func:`write_detection_json` /
+:func:`read_detection_json` round-trip the full result for downstream
+tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.errors import SerializationError
+from repro.mining.groups import GroupKind, SuspiciousGroup
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.mining.detector import DetectionResult
+
+__all__ = [
+    "write_sus_files",
+    "write_detection_json",
+    "read_detection_json",
+    "group_to_dict",
+    "group_from_dict",
+]
+
+
+def write_sus_files(result: "DetectionResult", directory: Path) -> list[Path]:
+    """Write ``susGroup(i)`` / ``susTrade(i)`` files; returns the paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+
+    def dump(index: str, groups: list[SuspiciousGroup]) -> None:
+        group_path = directory / f"susGroup({index}).txt"
+        trade_path = directory / f"susTrade({index}).txt"
+        with group_path.open("w") as handle:
+            for group in groups:
+                handle.write(group.render() + "\n")
+        with trade_path.open("w") as handle:
+            for tail, head in sorted(
+                {g.trading_arc for g in groups}, key=lambda a: (str(a[0]), str(a[1]))
+            ):
+                handle.write(f"{tail} -> {head}\n")
+        written.extend([group_path, trade_path])
+
+    if result.sub_results:
+        for sub in result.sub_results:
+            if sub.groups:
+                dump(str(sub.index), sub.groups)
+        extras = [
+            g for g in result.groups if g.kind in (GroupKind.SCS,)
+        ]
+        if extras:
+            dump("scs", extras)
+    else:
+        dump("all", result.groups)
+    return written
+
+
+def group_to_dict(group: SuspiciousGroup) -> dict:
+    return {
+        "trading_trail": [str(n) for n in group.trading_trail],
+        "support_trail": [str(n) for n in group.support_trail],
+        "kind": group.kind.value,
+    }
+
+
+def group_from_dict(payload: dict) -> SuspiciousGroup:
+    try:
+        trading = payload["trading_trail"]
+        support = payload["support_trail"]
+        if not isinstance(trading, (list, tuple)) or not isinstance(
+            support, (list, tuple)
+        ):
+            raise SerializationError(f"group trails must be lists: {payload!r}")
+        return SuspiciousGroup(
+            trading_trail=tuple(trading),
+            support_trail=tuple(support),
+            kind=GroupKind(payload["kind"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed group payload: {payload!r}") from exc
+
+
+def write_detection_json(result: "DetectionResult", path: str | Path) -> Path:
+    """Serialize a detection result (groups, counts, metadata) as JSON."""
+    path = Path(path)
+    payload = {
+        "engine": result.engine,
+        "subtpiin_count": result.subtpiin_count,
+        "total_trading_arcs": result.total_trading_arcs,
+        "cross_component_trades": result.cross_component_trades,
+        "pattern_trail_count": result.pattern_trail_count,
+        "simple_group_count": result.simple_group_count,
+        "complex_group_count": result.complex_group_count,
+        "suspicious_trading_arcs": sorted(
+            [str(a), str(b)] for a, b in result.suspicious_trading_arcs
+        ),
+        "groups": [group_to_dict(g) for g in result.groups],
+    }
+    path.write_text(json.dumps(payload, indent=2))
+    return path
+
+
+def read_detection_json(path: str | Path) -> dict:
+    """Load a detection JSON back into a plain dictionary.
+
+    Groups are revived as :class:`SuspiciousGroup` under the ``groups``
+    key; the remaining entries stay primitive.
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"{path} is not valid JSON") from exc
+    if not isinstance(payload, dict):
+        raise SerializationError(f"{path}: expected a JSON object at top level")
+    groups = payload.get("groups", [])
+    arcs = payload.get("suspicious_trading_arcs", [])
+    if not isinstance(groups, list) or not isinstance(arcs, list):
+        raise SerializationError(f"{path}: groups/arcs must be JSON arrays")
+    payload["groups"] = [group_from_dict(g) for g in groups]
+    try:
+        payload["suspicious_trading_arcs"] = {(a, b) for a, b in arcs}
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(f"{path}: malformed arc entries") from exc
+    return payload

@@ -1,0 +1,182 @@
+"""Dependency-free SVG rendering of TPIINs (the paper's figure style).
+
+Renders small-to-medium TPIINs as standalone SVG documents following
+the conventions of Figs. 6-8 and 16: persons are grey ellipses,
+companies red boxes, influence arcs blue, trading arcs black (optionally
+highlighted red for detected suspicious trades).
+
+Layout is a simple layered (Sugiyama-lite) scheme: nodes take the layer
+of their longest influence path from a root, one barycenter pass per
+layer reduces crossings, trading arcs are drawn as curves.  No plotting
+library is needed — the output is plain XML.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from xml.sax.saxutils import escape
+
+from repro.fusion.tpiin import TPIIN
+from repro.graph.dag import topological_order
+from repro.graph.digraph import Node
+from repro.model.colors import EColor, VColor
+
+__all__ = ["tpiin_to_svg", "write_tpiin_svg"]
+
+_NODE_W = 92
+_NODE_H = 30
+_X_GAP = 26
+_Y_GAP = 72
+_MARGIN = 30
+
+
+def _layout(tpiin: TPIIN) -> dict[Node, tuple[float, float]]:
+    """Layered positions: layer = longest influence path from a root."""
+    graph = tpiin.graph
+    layer: dict[Node, int] = {}
+    for node in topological_order(graph, EColor.INFLUENCE):
+        incoming = [
+            layer[prev] + 1
+            for prev in graph.predecessors(node, EColor.INFLUENCE)
+        ]
+        layer[node] = max(incoming, default=0)
+
+    layers: dict[int, list[Node]] = {}
+    for node, depth in layer.items():
+        layers.setdefault(depth, []).append(node)
+    for nodes in layers.values():
+        nodes.sort(key=str)
+
+    positions: dict[Node, tuple[float, float]] = {}
+    for depth in sorted(layers):
+        nodes = layers[depth]
+        if depth > 0:
+            # One barycenter pass: order by mean predecessor x.
+            def barycenter(node: Node) -> float:
+                xs = [
+                    positions[p][0]
+                    for p in tpiin.graph.predecessors(node, EColor.INFLUENCE)
+                    if p in positions
+                ]
+                return sum(xs) / len(xs) if xs else float(len(nodes))
+
+            nodes.sort(key=lambda n: (barycenter(n), str(n)))
+        for i, node in enumerate(nodes):
+            x = _MARGIN + i * (_NODE_W + _X_GAP) + _NODE_W / 2
+            y = _MARGIN + depth * (_NODE_H + _Y_GAP) + _NODE_H / 2
+            positions[node] = (x, y)
+    return positions
+
+
+def _arrow(
+    x1: float, y1: float, x2: float, y2: float, color: str, *, curve: bool, width: float
+) -> str:
+    if curve:
+        # Quadratic curve bowing sideways, so trading arcs are
+        # distinguishable from the straight influence arcs.
+        mx, my = (x1 + x2) / 2, (y1 + y2) / 2
+        dx, dy = x2 - x1, y2 - y1
+        norm = max((dx * dx + dy * dy) ** 0.5, 1.0)
+        off = 26.0
+        cx, cy = mx - dy / norm * off, my + dx / norm * off
+        path = f"M {x1:.1f} {y1:.1f} Q {cx:.1f} {cy:.1f} {x2:.1f} {y2:.1f}"
+        return (
+            f'<path d="{path}" fill="none" stroke="{color}" '
+            f'stroke-width="{width}" marker-end="url(#arrow-{color})"/>'
+        )
+    return (
+        f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+        f'stroke="{color}" stroke-width="{width}" '
+        f'marker-end="url(#arrow-{color})"/>'
+    )
+
+
+def _shrink(x1, y1, x2, y2, margin=22.0):
+    """Pull the endpoint back so arrowheads sit outside node shapes."""
+    dx, dy = x2 - x1, y2 - y1
+    norm = max((dx * dx + dy * dy) ** 0.5, 1.0)
+    return (
+        x1 + dx / norm * margin,
+        y1 + dy / norm * margin,
+        x2 - dx / norm * margin,
+        y2 - dy / norm * margin,
+    )
+
+
+def tpiin_to_svg(
+    tpiin: TPIIN,
+    *,
+    highlight_arcs: set[tuple[Node, Node]] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render ``tpiin`` as a standalone SVG document string."""
+    highlight = highlight_arcs or set()
+    positions = _layout(tpiin)
+    width = max(x for x, _y in positions.values()) + _NODE_W / 2 + _MARGIN
+    height = max(y for _x, y in positions.values()) + _NODE_H / 2 + _MARGIN
+
+    defs = "".join(
+        f'<marker id="arrow-{color}" viewBox="0 0 10 10" refX="9" refY="5" '
+        f'markerWidth="7" markerHeight="7" orient="auto-start-reverse">'
+        f'<path d="M 0 0 L 10 5 L 0 10 z" fill="{color}"/></marker>'
+        for color in ("blue", "black", "red")
+    )
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}" '
+        f'height="{height:.0f}" viewBox="0 0 {width:.0f} {height:.0f}">',
+        f"<defs>{defs}</defs>",
+        '<rect width="100%" height="100%" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{_MARGIN}" y="18" font-size="13" '
+            f'font-family="sans-serif">{escape(title)}</text>'
+        )
+
+    for tail, head, color in tpiin.graph.arcs():
+        x1, y1 = positions[tail]
+        x2, y2 = positions[head]
+        x1, y1, x2, y2 = _shrink(x1, y1, x2, y2)
+        if color == EColor.INFLUENCE:
+            parts.append(_arrow(x1, y1, x2, y2, "blue", curve=False, width=1.2))
+        elif (tail, head) in highlight:
+            parts.append(_arrow(x1, y1, x2, y2, "red", curve=True, width=2.4))
+        else:
+            parts.append(_arrow(x1, y1, x2, y2, "black", curve=True, width=1.2))
+
+    for node, (x, y) in positions.items():
+        label = escape(str(node))
+        if len(label) > 14:
+            label = label[:13] + "…"
+        if tpiin.graph.node_color(node) == VColor.COMPANY:
+            parts.append(
+                f'<rect x="{x - _NODE_W / 2:.1f}" y="{y - _NODE_H / 2:.1f}" '
+                f'width="{_NODE_W}" height="{_NODE_H}" rx="4" '
+                f'fill="#f4a08c" stroke="#c03020"/>'
+            )
+        else:
+            parts.append(
+                f'<ellipse cx="{x:.1f}" cy="{y:.1f}" rx="{_NODE_W / 2}" '
+                f'ry="{_NODE_H / 2}" fill="#e0e0e0" stroke="#404040"/>'
+            )
+        parts.append(
+            f'<text x="{x:.1f}" y="{y + 4:.1f}" text-anchor="middle" '
+            f'font-size="11" font-family="sans-serif">{label}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
+def write_tpiin_svg(
+    tpiin: TPIIN,
+    path: str | Path,
+    *,
+    highlight_arcs: set[tuple[Node, Node]] | None = None,
+    title: str | None = None,
+) -> Path:
+    """Write :func:`tpiin_to_svg` output to ``path``."""
+    path = Path(path)
+    path.write_text(
+        tpiin_to_svg(tpiin, highlight_arcs=highlight_arcs, title=title)
+    )
+    return path

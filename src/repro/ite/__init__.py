@@ -1,0 +1,48 @@
+"""ITE-phase: arm's-length judgment on suspicious-group transactions."""
+
+from repro.ite.adjudication import (
+    ENTERPRISE_INCOME_TAX_RATE,
+    CompanyVerdict,
+    TransactionVerdict,
+    adjudicate_company,
+    adjudicate_transaction,
+)
+from repro.ite.alp import (
+    Judgment,
+    profit_split,
+    comparable_uncontrolled_price,
+    cost_plus,
+    resale_price,
+    transactional_net_margin,
+)
+from repro.ite.pipeline import TwoPhaseResult, run_two_phase
+from repro.ite.transactions import (
+    DEFAULT_PROFILES,
+    IndustryProfile,
+    SimulationConfig,
+    Transaction,
+    TransactionBook,
+    simulate_transactions,
+)
+
+__all__ = [
+    "CompanyVerdict",
+    "DEFAULT_PROFILES",
+    "ENTERPRISE_INCOME_TAX_RATE",
+    "IndustryProfile",
+    "Judgment",
+    "SimulationConfig",
+    "Transaction",
+    "TransactionBook",
+    "TransactionVerdict",
+    "TwoPhaseResult",
+    "adjudicate_company",
+    "adjudicate_transaction",
+    "comparable_uncontrolled_price",
+    "cost_plus",
+    "profit_split",
+    "resale_price",
+    "run_two_phase",
+    "simulate_transactions",
+    "transactional_net_margin",
+]

@@ -1,0 +1,108 @@
+"""Per-transaction and per-company adjudication.
+
+Combines the ALP methods of :mod:`repro.ite.alp` into a single verdict:
+a transaction is an evasion finding when any applicable method flags it,
+and its tax adjustment is the largest adjustment any method implies
+(the TAO picks the method that best fits the facts; Cases 1-3 each used
+a different one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ite.alp import (
+    Judgment,
+    comparable_uncontrolled_price,
+    cost_plus,
+    resale_price,
+    transactional_net_margin,
+)
+from repro.ite.transactions import (
+    DEFAULT_PROFILES,
+    IndustryProfile,
+    Transaction,
+)
+
+__all__ = ["TransactionVerdict", "adjudicate_transaction", "adjudicate_company"]
+
+#: Chinese enterprise income tax rate, used to turn taxable-income
+#: adjustments into recovered tax.
+ENTERPRISE_INCOME_TAX_RATE = 0.25
+
+
+@dataclass(frozen=True, slots=True)
+class TransactionVerdict:
+    """Combined ALP outcome for one transaction."""
+
+    transaction: Transaction
+    judgments: tuple[Judgment, ...]
+    flagged: bool
+    adjustment: float
+
+    @property
+    def recovered_tax(self) -> float:
+        return self.adjustment * ENTERPRISE_INCOME_TAX_RATE
+
+    @property
+    def methods_violated(self) -> tuple[str, ...]:
+        return tuple(j.method for j in self.judgments if j.violated)
+
+
+def adjudicate_transaction(
+    transaction: Transaction,
+    profiles: dict[str, IndustryProfile] | None = None,
+) -> TransactionVerdict:
+    """Run every applicable transactional method and combine."""
+    profiles = profiles or DEFAULT_PROFILES
+    profile = profiles.get(transaction.industry, profiles["general"])
+    judgments: list[Judgment] = [
+        comparable_uncontrolled_price(transaction, profile),
+        cost_plus(transaction, profile),
+    ]
+    if transaction.resale_unit_price is not None:
+        judgments.append(resale_price(transaction, profile))
+    flagged = any(j.violated for j in judgments)
+    adjustment = max((j.adjustment for j in judgments), default=0.0)
+    return TransactionVerdict(
+        transaction=transaction,
+        judgments=tuple(judgments),
+        flagged=flagged,
+        adjustment=adjustment,
+    )
+
+
+@dataclass
+class CompanyVerdict:
+    """TNMM outcome for one company over its controlled transactions."""
+
+    company_id: str
+    judgment: Judgment
+    transactions: list[Transaction] = field(default_factory=list)
+
+    @property
+    def flagged(self) -> bool:
+        return self.judgment.violated
+
+    @property
+    def recovered_tax(self) -> float:
+        return self.judgment.adjustment * ENTERPRISE_INCOME_TAX_RATE
+
+
+def adjudicate_company(
+    company_id: str,
+    transactions: list[Transaction],
+    profiles: dict[str, IndustryProfile] | None = None,
+) -> CompanyVerdict:
+    """TNMM over a company's controlled sales (its side of the IATs)."""
+    profiles = profiles or DEFAULT_PROFILES
+    industry = transactions[0].industry if transactions else "general"
+    profile = profiles.get(industry, profiles["general"])
+    revenue = sum(tx.revenue for tx in transactions)
+    costs = sum(tx.total_cost for tx in transactions)
+    judgment = transactional_net_margin(
+        revenue, costs, profile, company_id=company_id
+    )
+    return CompanyVerdict(
+        company_id=company_id, judgment=judgment, transactions=list(transactions)
+    )

@@ -1,0 +1,246 @@
+"""Arm's-length-principle (ALP) judgment methods.
+
+The paper's case studies apply the standard transfer-pricing toolset of
+the UN Practical Manual [16] and the PwC report [18]:
+
+* **CUP** — comparable uncontrolled price (Case 2: the $20 smart meters
+  sold to the Hong Kong affiliate vs the $30 domestic price);
+* **cost plus** — compare the realized markup over production cost with
+  comparable producers' markup (Case 3: 9% on BMX exports);
+* **resale price** — work back from the buyer's resale price minus a
+  customary distributor margin;
+* **TNMM** — transactional net margin method at company level (Case 1:
+  the chronically loss-making producer C3 adjusted by 25.52M RMB
+  against the industry's average net profit).
+
+Every method returns a :class:`Judgment` with the violation verdict and
+the taxable-income adjustment it implies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import EvaluationError
+from repro.ite.transactions import IndustryProfile, Transaction
+
+__all__ = [
+    "Judgment",
+    "comparable_uncontrolled_price",
+    "cost_plus",
+    "profit_split",
+    "resale_price",
+    "transactional_net_margin",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Judgment:
+    """Outcome of one ALP method on one transaction (or one company)."""
+
+    method: str
+    violated: bool
+    adjustment: float  # taxable-income increase implied, in currency units
+    rationale: str
+
+    def __post_init__(self) -> None:
+        if self.adjustment < 0:
+            raise EvaluationError("adjustment must be non-negative")
+
+
+def comparable_uncontrolled_price(
+    transaction: Transaction, profile: IndustryProfile, *, tolerance: float = 0.10
+) -> Judgment:
+    """CUP: flag prices more than ``tolerance`` below the comparable price."""
+    fair = profile.fair_unit_price
+    if fair <= 0:
+        raise EvaluationError("industry profile has non-positive fair price")
+    shortfall = (fair - transaction.unit_price) / fair
+    if shortfall > tolerance:
+        adjustment = (fair - transaction.unit_price) * transaction.quantity
+        return Judgment(
+            method="CUP",
+            violated=True,
+            adjustment=adjustment,
+            rationale=(
+                f"price {transaction.unit_price:.2f} is "
+                f"{100 * shortfall:.1f}% below the comparable uncontrolled "
+                f"price {fair:.2f}"
+            ),
+        )
+    return Judgment(
+        method="CUP",
+        violated=False,
+        adjustment=0.0,
+        rationale=f"price within {100 * tolerance:.0f}% of the comparable price",
+    )
+
+
+def cost_plus(transaction: Transaction, profile: IndustryProfile) -> Judgment:
+    """Cost plus: realized markup vs the comparable producers' markup."""
+    expected = profile.standard_markup
+    realized = transaction.markup
+    if realized < expected - profile.markup_tolerance:
+        fair_price = transaction.unit_cost * (1.0 + expected)
+        adjustment = max(0.0, (fair_price - transaction.unit_price)) * transaction.quantity
+        return Judgment(
+            method="cost-plus",
+            violated=True,
+            adjustment=adjustment,
+            rationale=(
+                f"markup {100 * realized:.1f}% below the comparable "
+                f"{100 * expected:.1f}% (tolerance "
+                f"{100 * profile.markup_tolerance:.1f}%)"
+            ),
+        )
+    return Judgment(
+        method="cost-plus",
+        violated=False,
+        adjustment=0.0,
+        rationale=f"markup {100 * realized:.1f}% within tolerance",
+    )
+
+
+def resale_price(
+    transaction: Transaction, profile: IndustryProfile, *, tolerance: float = 0.10
+) -> Judgment:
+    """Resale price: seller's price vs buyer's resale net of the margin.
+
+    Only applicable when the downstream resale price is known; raises
+    otherwise so callers select methods explicitly.
+    """
+    if transaction.resale_unit_price is None:
+        raise EvaluationError(
+            f"{transaction.transaction_id}: resale-price method needs "
+            "resale_unit_price"
+        )
+    implied = transaction.resale_unit_price / (1.0 + profile.resale_margin)
+    shortfall = (implied - transaction.unit_price) / implied if implied > 0 else 0.0
+    if shortfall > tolerance:
+        adjustment = (implied - transaction.unit_price) * transaction.quantity
+        return Judgment(
+            method="resale-price",
+            violated=True,
+            adjustment=adjustment,
+            rationale=(
+                f"price {transaction.unit_price:.2f} is {100 * shortfall:.1f}% "
+                f"below the resale-implied arm's-length price {implied:.2f}"
+            ),
+        )
+    return Judgment(
+        method="resale-price",
+        violated=False,
+        adjustment=0.0,
+        rationale="price consistent with the buyer's resale margin",
+    )
+
+
+def profit_split(
+    reported_profits: dict[str, float],
+    contribution_weights: dict[str, float],
+    *,
+    tolerance: float = 0.10,
+    focus: str | None = None,
+) -> Judgment:
+    """Profit split: divide the group's combined profit by contribution.
+
+    The fifth standard method of the UN manual [16], used when the
+    parties' dealings are too integrated for one-sided methods — e.g.
+    Case 1's producer/marketer split, where the producer's functions
+    (manufacturing) entitle it to a share of the combined result.
+
+    ``reported_profits`` holds each party's booked profit from the
+    controlled dealings; ``contribution_weights`` the functional-analysis
+    weights (they need not be normalized).  A party whose booked share
+    undercuts its contribution share by more than ``tolerance``
+    (absolute, in share points) is flagged and adjusted up to its
+    entitled share.  ``focus`` selects the audited party (defaults to
+    the most under-allocated one).
+    """
+    if not reported_profits:
+        raise EvaluationError("profit_split needs at least one party")
+    if set(reported_profits) != set(contribution_weights):
+        raise EvaluationError("profits and contribution weights must cover the same parties")
+    total_weight = sum(contribution_weights.values())
+    if total_weight <= 0:
+        raise EvaluationError("contribution weights must sum to a positive value")
+    combined = sum(reported_profits.values())
+    if combined <= 0:
+        return Judgment(
+            method="profit-split",
+            violated=False,
+            adjustment=0.0,
+            rationale="combined profit is non-positive; method not informative",
+        )
+
+    shortfalls: dict[str, float] = {}
+    for party, weight in contribution_weights.items():
+        entitled_share = weight / total_weight
+        booked_share = reported_profits[party] / combined
+        shortfalls[party] = entitled_share - booked_share
+    target = focus if focus is not None else max(shortfalls, key=shortfalls.get)
+    if target not in shortfalls:
+        raise EvaluationError(f"unknown focus party {target!r}")
+    shortfall = shortfalls[target]
+    if shortfall > tolerance:
+        entitled_profit = combined * contribution_weights[target] / total_weight
+        adjustment = max(0.0, entitled_profit - reported_profits[target])
+        return Judgment(
+            method="profit-split",
+            violated=True,
+            adjustment=adjustment,
+            rationale=(
+                f"party {target} books {100 * reported_profits[target] / combined:.1f}% "
+                f"of the combined profit against a "
+                f"{100 * contribution_weights[target] / total_weight:.1f}% contribution"
+            ),
+        )
+    return Judgment(
+        method="profit-split",
+        violated=False,
+        adjustment=0.0,
+        rationale=f"party {target}'s profit share matches its contribution",
+    )
+
+
+def transactional_net_margin(
+    revenue: float,
+    costs: float,
+    profile: IndustryProfile,
+    *,
+    company_id: str = "?",
+) -> Judgment:
+    """TNMM at company level: net margin vs the arm's-length interval.
+
+    ``revenue`` and ``costs`` aggregate the company's controlled
+    transactions for the period; the adjustment lifts the margin to the
+    interval's midpoint, mirroring the Case 1 reassessment.
+    """
+    if revenue <= 0:
+        return Judgment(
+            method="TNMM",
+            violated=costs > 0,
+            adjustment=costs * profile.net_margin_range[0] if costs > 0 else 0.0,
+            rationale=f"company {company_id} reports no revenue against costs",
+        )
+    margin = (revenue - costs) / revenue
+    lo, hi = profile.net_margin_range
+    if margin < lo:
+        midpoint = (lo + hi) / 2.0
+        target_profit = revenue * midpoint
+        adjustment = max(0.0, target_profit - (revenue - costs))
+        return Judgment(
+            method="TNMM",
+            violated=True,
+            adjustment=adjustment,
+            rationale=(
+                f"net margin {100 * margin:.1f}% below the arm's-length "
+                f"interval [{100 * lo:.0f}%, {100 * hi:.0f}%]"
+            ),
+        )
+    return Judgment(
+        method="TNMM",
+        violated=False,
+        adjustment=0.0,
+        rationale=f"net margin {100 * margin:.1f}% within the interval",
+    )

@@ -1,0 +1,227 @@
+"""Transaction records and the synthetic transaction simulator.
+
+The paper's ITE-phase applies "traditional tax evasion identification
+methods" to the transactions behind suspicious trading relationships.
+The TAO withheld real transaction details (Section 5.1), so — per the
+substitution rule in DESIGN.md — this module simulates them: every
+trading arc carries a handful of transactions priced around the
+industry's fair level, and a configurable share of the *suspicious*
+arcs carries transfer-priced (under-invoiced) transactions, which gives
+the two-phase pipeline a planted ground truth to measure against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import EvaluationError
+
+__all__ = [
+    "Transaction",
+    "TransactionBook",
+    "IndustryProfile",
+    "DEFAULT_PROFILES",
+    "SimulationConfig",
+    "simulate_transactions",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Transaction:
+    """One recorded sale from ``seller`` to ``buyer``."""
+
+    transaction_id: str
+    seller: str
+    buyer: str
+    industry: str
+    quantity: float
+    unit_price: float
+    unit_cost: float
+    resale_unit_price: float | None = None
+    period: str = "2016"
+
+    def __post_init__(self) -> None:
+        if self.quantity <= 0:
+            raise EvaluationError(f"{self.transaction_id}: quantity must be positive")
+        if self.unit_price < 0 or self.unit_cost < 0:
+            raise EvaluationError(f"{self.transaction_id}: negative price or cost")
+
+    @property
+    def revenue(self) -> float:
+        return self.quantity * self.unit_price
+
+    @property
+    def total_cost(self) -> float:
+        return self.quantity * self.unit_cost
+
+    @property
+    def gross_profit(self) -> float:
+        return self.revenue - self.total_cost
+
+    @property
+    def markup(self) -> float:
+        """Realized cost-plus markup; ``inf`` guarded for zero cost."""
+        if self.total_cost == 0:
+            return float("inf")
+        return self.gross_profit / self.total_cost
+
+
+@dataclass
+class TransactionBook:
+    """All transactions, indexed by trading arc and by seller."""
+
+    transactions: list[Transaction] = field(default_factory=list)
+    evading_ids: set[str] = field(default_factory=set)  # planted ground truth
+
+    def add(self, transaction: Transaction, *, evading: bool = False) -> None:
+        self.transactions.append(transaction)
+        if evading:
+            self.evading_ids.add(transaction.transaction_id)
+
+    def __len__(self) -> int:
+        return len(self.transactions)
+
+    def __iter__(self) -> Iterator[Transaction]:
+        return iter(self.transactions)
+
+    def by_arc(self) -> dict[tuple[str, str], list[Transaction]]:
+        index: dict[tuple[str, str], list[Transaction]] = {}
+        for tx in self.transactions:
+            index.setdefault((tx.seller, tx.buyer), []).append(tx)
+        return index
+
+    def by_seller(self) -> dict[str, list[Transaction]]:
+        index: dict[str, list[Transaction]] = {}
+        for tx in self.transactions:
+            index.setdefault(tx.seller, []).append(tx)
+        return index
+
+    def for_arcs(self, arcs: Iterable[tuple[str, str]]) -> list[Transaction]:
+        wanted = set(arcs)
+        return [tx for tx in self.transactions if (tx.seller, tx.buyer) in wanted]
+
+    def is_evading(self, transaction: Transaction) -> bool:
+        return transaction.transaction_id in self.evading_ids
+
+
+@dataclass(frozen=True, slots=True)
+class IndustryProfile:
+    """Arm's-length comparables for one industry.
+
+    ``standard_markup`` is the cost-plus markup of comparable producers
+    (Case 3 used 9% for BMX), ``net_margin_range`` the arm's-length net
+    margin interval used by TNMM (Case 1), and ``resale_margin`` the
+    customary distributor margin for the resale-price method.
+    """
+
+    industry: str
+    unit_cost: float = 100.0
+    standard_markup: float = 0.12
+    markup_tolerance: float = 0.05
+    price_noise: float = 0.03
+    net_margin_range: tuple[float, float] = (0.05, 0.14)
+    resale_margin: float = 0.20
+
+    @property
+    def fair_unit_price(self) -> float:
+        return self.unit_cost * (1.0 + self.standard_markup)
+
+
+def _default_profiles() -> dict[str, IndustryProfile]:
+    from repro.datagen.companies import INDUSTRIES
+
+    profiles = {}
+    for i, industry in enumerate(INDUSTRIES):
+        profiles[industry] = IndustryProfile(
+            industry=industry,
+            unit_cost=60.0 + 15.0 * i,
+            standard_markup=0.09 + 0.01 * (i % 5),
+        )
+    profiles["general"] = IndustryProfile(industry="general")
+    return profiles
+
+
+#: One profile per generator industry plus a ``general`` fallback.
+DEFAULT_PROFILES: dict[str, IndustryProfile] = _default_profiles()
+
+
+@dataclass(frozen=True, slots=True)
+class SimulationConfig:
+    """Knobs of the transaction simulator."""
+
+    mean_transactions_per_arc: float = 2.0
+    evasion_rate: float = 0.4  # share of suspicious arcs that actually evade
+    underpricing_range: tuple[float, float] = (0.55, 0.85)  # price multiplier
+    legit_discount_rate: float = 0.02  # honest arcs with aggressive discounts
+    legit_discount_floor: float = 0.93
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.mean_transactions_per_arc <= 0:
+            raise EvaluationError("mean_transactions_per_arc must be positive")
+        lo, hi = self.underpricing_range
+        if not 0.0 < lo <= hi < 1.0:
+            raise EvaluationError("underpricing_range must satisfy 0 < lo <= hi < 1")
+        if not 0.0 <= self.evasion_rate <= 1.0:
+            raise EvaluationError("evasion_rate must be in [0, 1]")
+
+
+def simulate_transactions(
+    arcs: Iterable[tuple[str, str]],
+    suspicious_arcs: set[tuple[str, str]],
+    industry_of: dict[str, str],
+    *,
+    config: SimulationConfig | None = None,
+    profiles: dict[str, IndustryProfile] | None = None,
+) -> TransactionBook:
+    """Generate a transaction book over ``arcs``.
+
+    Arcs in ``suspicious_arcs`` are IAT candidates: a fraction
+    ``evasion_rate`` of them under-invoices every transaction (planted
+    evasion).  Honest arcs trade near the industry's fair price, with a
+    small share of legitimate discounts to keep precision honest.
+    """
+    config = config or SimulationConfig()
+    profiles = profiles or DEFAULT_PROFILES
+    rng = np.random.default_rng(config.seed)
+    book = TransactionBook()
+    counter = 0
+    for seller, buyer in arcs:
+        industry = industry_of.get(seller, "general")
+        profile = profiles.get(industry, profiles["general"])
+        is_iat = (seller, buyer) in suspicious_arcs
+        evades = bool(is_iat and rng.random() < config.evasion_rate)
+        n_tx = 1 + int(rng.poisson(config.mean_transactions_per_arc - 1.0))
+        for _ in range(n_tx):
+            quantity = float(rng.integers(100, 5000))
+            noise = 1.0 + float(rng.normal(0.0, profile.price_noise))
+            fair = profile.fair_unit_price * max(noise, 0.5)
+            if evades:
+                lo, hi = config.underpricing_range
+                price = fair * float(rng.uniform(lo, hi))
+            elif rng.random() < config.legit_discount_rate:
+                price = fair * float(
+                    rng.uniform(config.legit_discount_floor, 0.97)
+                )
+            else:
+                price = fair
+            counter += 1
+            book.add(
+                Transaction(
+                    transaction_id=f"T{counter:07d}",
+                    seller=seller,
+                    buyer=buyer,
+                    industry=industry,
+                    quantity=quantity,
+                    unit_price=round(price, 2),
+                    unit_cost=round(profile.unit_cost, 2),
+                    resale_unit_price=round(
+                        fair * (1.0 + profile.resale_margin), 2
+                    ),
+                ),
+                evading=evades,
+            )
+    return book

@@ -1,0 +1,247 @@
+"""Algorithm 1: end-to-end suspicious-group detection on a TPIIN.
+
+``detect`` orchestrates the three-step approach of Section 4.3:
+
+1. segment the TPIIN into subTPIINs (divide and conquer);
+2. per subTPIIN, build the patterns tree and component pattern base
+   (Algorithm 2);
+3. match component patterns sharing an antecedent into suspicious
+   groups, and add the intra-SCS trade groups.
+
+Two engines implement identical semantics:
+
+* ``"faithful"`` — the paper's algorithm literally: materializes the
+  pattern base and matches it (this module);
+* ``"fast"`` — an optimized equivalent using a packed root-ancestor
+  index and per-root path caches (:mod:`repro.mining.fast`), used for
+  the full-scale Table 1 sweep.
+
+Their outputs are cross-validated by property tests.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import MiningError
+from repro.fusion.tpiin import TPIIN
+from repro.graph.digraph import Node
+from repro.mining.groups import GroupKind, SuspiciousGroup
+from repro.mining.matching import match_component_patterns
+from repro.mining.patterns import build_patterns_tree
+from repro.mining.scs_groups import scs_suspicious_groups
+from repro.mining.segmentation import segment
+
+__all__ = ["DetectionResult", "SubTPIINResult", "detect"]
+
+
+@dataclass
+class SubTPIINResult:
+    """Per-subTPIIN mining outcome (the paper's ``susGroup(i)`` content)."""
+
+    index: int
+    node_count: int
+    trading_arc_count: int
+    pattern_trail_count: int
+    groups: list[SuspiciousGroup] = field(default_factory=list)
+
+    @property
+    def suspicious_arcs(self) -> set[tuple[Node, Node]]:
+        return {g.trading_arc for g in self.groups}
+
+
+@dataclass
+class DetectionResult:
+    """Aggregated outcome of Algorithm 1 over a whole TPIIN.
+
+    The fast engine's count-only mode fills the ``*_override`` fields
+    instead of materializing every group object; the count properties
+    below fall back to them when ``groups`` is empty.
+    """
+
+    groups: list[SuspiciousGroup]
+    total_trading_arcs: int
+    cross_component_trades: int
+    subtpiin_count: int
+    engine: str
+    pattern_trail_count: int | None = None
+    sub_results: list[SubTPIINResult] = field(default_factory=list)
+    simple_count_override: int | None = None
+    complex_count_override: int | None = None
+    kind_counts_override: Counter | None = None
+    suspicious_arcs_override: set[tuple[Node, Node]] | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def suspicious_trading_arcs(self) -> set[tuple[Node, Node]]:
+        """Distinct trading arcs behind at least one group.
+
+        Intra-SCS trades are reported in their original (pre-contraction)
+        company ids, exactly as the fusion pipeline recorded them.
+        """
+        if self.suspicious_arcs_override is not None:
+            return self.suspicious_arcs_override
+        return {g.trading_arc for g in self.groups}
+
+    @property
+    def simple_group_count(self) -> int:
+        """Simple groups (Definition 3), including circle and SCS groups."""
+        if self.simple_count_override is not None:
+            return self.simple_count_override
+        return sum(1 for g in self.groups if g.is_simple)
+
+    @property
+    def complex_group_count(self) -> int:
+        if self.complex_count_override is not None:
+            return self.complex_count_override
+        return sum(1 for g in self.groups if g.is_complex)
+
+    @property
+    def group_count(self) -> int:
+        return self.simple_group_count + self.complex_group_count
+
+    @property
+    def suspicious_arc_count(self) -> int:
+        return len(self.suspicious_trading_arcs)
+
+    @property
+    def suspicious_arc_share(self) -> float:
+        """Suspicious share of all trading relationships (Table 1, last col)."""
+        if self.total_trading_arcs == 0:
+            return 0.0
+        return self.suspicious_arc_count / self.total_trading_arcs
+
+    def kind_counts(self) -> Counter:
+        if self.kind_counts_override is not None:
+            return self.kind_counts_override
+        return Counter(g.kind for g in self.groups)
+
+    def groups_for_arc(self, arc: tuple[Node, Node]) -> list[SuspiciousGroup]:
+        """Every group certifying one trading arc (the proof chains)."""
+        return [g for g in self.groups if g.trading_arc == arc]
+
+    def summary(self) -> str:
+        kinds = self.kind_counts()
+        return (
+            f"engine={self.engine} subTPIINs={self.subtpiin_count} "
+            f"groups={self.group_count} "
+            f"(complex={self.complex_group_count}, simple={self.simple_group_count}; "
+            f"matched={kinds.get(GroupKind.MATCHED, 0)}, "
+            f"circle={kinds.get(GroupKind.CIRCLE, 0)}, "
+            f"scs={kinds.get(GroupKind.SCS, 0)}) "
+            f"suspicious_arcs={self.suspicious_arc_count}/{self.total_trading_arcs} "
+            f"({100.0 * self.suspicious_arc_share:.4f}%)"
+        )
+
+    def render_sub_report(self, *, max_rows: int = 20) -> str:
+        """Per-subTPIIN table (faithful/parallel engines only).
+
+        Shows the divide-and-conquer at work: each MWCS's size, pattern
+        base, groups found and suspicious arcs, largest first.
+        """
+        if not self.sub_results:
+            return "no per-subTPIIN data (engine did not segment)"
+        from repro.analysis.reporting import render_table
+
+        ranked = sorted(self.sub_results, key=lambda s: -len(s.groups))
+        rows = [
+            [
+                sub.index,
+                sub.node_count,
+                sub.trading_arc_count,
+                sub.pattern_trail_count,
+                len(sub.groups),
+                len(sub.suspicious_arcs),
+            ]
+            for sub in ranked[:max_rows]
+        ]
+        table = render_table(
+            ["subTPIIN", "nodes", "trades", "trails", "groups", "sus arcs"],
+            rows,
+        )
+        if len(ranked) > max_rows:
+            table += f"\n... and {len(ranked) - max_rows} more subTPIINs"
+        return table
+
+    # ------------------------------------------------------------------
+    def write_files(self, directory: str | Path) -> list[Path]:
+        """Write the paper's ``susGroup(i)`` / ``susTrade(i)`` output files.
+
+        One pair of files per subTPIIN that produced any group (faithful
+        engine), or a single aggregated pair (fast engine).  Returns the
+        written paths.
+        """
+        from repro.io.results_io import write_sus_files
+
+        return write_sus_files(self, Path(directory))
+
+
+def detect(
+    tpiin: TPIIN,
+    *,
+    engine: str = "faithful",
+    max_trails_per_subtpiin: int | None = None,
+    skip_trivial_subtpiins: bool = True,
+) -> DetectionResult:
+    """Detect all suspicious tax evasion groups in ``tpiin``.
+
+    Parameters
+    ----------
+    engine:
+        ``"faithful"`` runs the paper's Algorithm 1/2 literally;
+        ``"fast"`` runs the optimized equivalent engine;
+        ``"parallel"`` runs the faithful engine across worker processes.
+    max_trails_per_subtpiin:
+        Faithful engine only: optional cap on each pattern base as a
+        safety valve (caps make the result a *lower bound*; the paper's
+        experiments run uncapped, as do ours).
+    skip_trivial_subtpiins:
+        Skip subTPIINs with no trading arc (pure optimization).
+    """
+    if engine == "fast":
+        from repro.mining.fast import fast_detect
+
+        return fast_detect(tpiin)
+    if engine == "parallel":
+        from repro.mining.parallel import parallel_detect
+
+        return parallel_detect(tpiin)
+    if engine != "faithful":
+        raise MiningError(f"unknown engine {engine!r}")
+
+    segmentation = segment(tpiin, skip_trivial=skip_trivial_subtpiins)
+    groups: list[SuspiciousGroup] = []
+    sub_results: list[SubTPIINResult] = []
+    trail_total = 0
+    for sub in segmentation.subtpiins:
+        tree = build_patterns_tree(
+            sub.graph, max_trails=max_trails_per_subtpiin, build_tree=False
+        )
+        sub_groups = match_component_patterns(tree.trails)
+        trail_total += len(tree.trails)
+        groups.extend(sub_groups)
+        sub_results.append(
+            SubTPIINResult(
+                index=sub.index,
+                node_count=len(sub.nodes),
+                trading_arc_count=sub.trading_arc_count,
+                pattern_trail_count=len(tree.trails),
+                groups=sub_groups,
+            )
+        )
+
+    scs_groups = scs_suspicious_groups(tpiin)
+    groups.extend(scs_groups)
+
+    total_trading = sum(1 for _ in tpiin.trading_arcs()) + len(tpiin.intra_scs_trades)
+    return DetectionResult(
+        groups=groups,
+        total_trading_arcs=total_trading,
+        cross_component_trades=len(segmentation.cross_component_trades),
+        subtpiin_count=segmentation.total_components,
+        engine="faithful",
+        pattern_trail_count=trail_total,
+        sub_results=sub_results,
+    )

@@ -1,0 +1,57 @@
+"""Ground-truth characterization of suspicious trading arcs.
+
+DESIGN.md proves (and the property suite verifies) the following exact
+characterization: in a TPIIN whose antecedent network is a DAG, a
+trading arc ``c1 -> c2`` closes at least one suspicious group **iff**
+``c1`` and ``c2`` share an indegree-zero root ancestor in the antecedent
+network (every node counting as its own ancestor).  Intra-SCS trades are
+suspicious unconditionally.
+
+The oracle is independent of the pattern-tree machinery — it only uses
+ancestor reachability — which makes it the arbiter behind the 100%
+accuracy columns of Table 1: detector output is compared against oracle
+output arc by arc.
+"""
+
+from __future__ import annotations
+
+from repro.fusion.tpiin import TPIIN
+from repro.graph.bitset import RootAncestorIndex
+from repro.graph.dag import ancestor_closure
+from repro.graph.digraph import Node
+from repro.model.colors import EColor
+
+__all__ = ["suspicious_arc_oracle", "suspicious_arc_oracle_closure"]
+
+
+def suspicious_arc_oracle(tpiin: TPIIN) -> set[tuple[Node, Node]]:
+    """All suspicious trading arcs, via the packed root-ancestor index.
+
+    Returns in-TPIIN trading arcs whose endpoints share a root ancestor,
+    plus every intra-SCS trade (in original company ids).
+    """
+    arcs = list(tpiin.trading_arcs())
+    suspicious: set[tuple[Node, Node]] = set(tpiin.intra_scs_trades)
+    if arcs:
+        index = RootAncestorIndex(tpiin.graph, EColor.INFLUENCE)
+        tails = [a for a, _b in arcs]
+        heads = [b for _a, b in arcs]
+        mask = index.shares_root_bulk(tails, heads)
+        suspicious.update(arc for arc, flag in zip(arcs, mask) if flag)
+    return suspicious
+
+
+def suspicious_arc_oracle_closure(tpiin: TPIIN) -> set[tuple[Node, Node]]:
+    """Second, independent oracle via full ancestor-set closures.
+
+    Uses *all* common ancestors rather than common roots; the two oracles
+    agree on DAGs (a common ancestor always has a common root above it),
+    and the property suite checks this equivalence — it is the keystone
+    of the completeness argument.
+    """
+    closure = ancestor_closure(tpiin.graph, EColor.INFLUENCE)
+    suspicious: set[tuple[Node, Node]] = set(tpiin.intra_scs_trades)
+    for tail, head in tpiin.trading_arcs():
+        if closure[tail] & closure[head]:
+            suspicious.add((tail, head))
+    return suspicious

@@ -1,0 +1,123 @@
+"""TPIIN segmentation into subTPIINs (Definition 4; Algorithm 1, steps 1-6).
+
+The divide-and-conquer step rests on the observation that a trading arc
+joining two *different* weakly connected subgraphs of the antecedent
+network cannot be suspicious: no party can stand behind both endpoints.
+Each maximal weakly connected subgraph (MWCS) of the antecedent network,
+together with the trading arcs between its own company nodes, forms one
+``subTPIIN`` that can be mined independently — the soundness of this
+split (no group is lost) is property-tested against whole-network
+mining.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fusion.tpiin import TPIIN
+from repro.graph.digraph import DiGraph, Node
+from repro.graph.traversal import weakly_connected_components
+from repro.model.colors import EColor
+
+__all__ = ["SubTPIIN", "SegmentationResult", "segment"]
+
+
+@dataclass
+class SubTPIIN:
+    """One weakly connected slice of a TPIIN.
+
+    ``graph`` holds the antecedent arcs of the MWCS plus the trading arcs
+    between its company nodes — the edge-list the paper feeds to
+    Algorithm 2.
+    """
+
+    index: int
+    graph: DiGraph
+
+    @property
+    def nodes(self) -> set[Node]:
+        return set(self.graph.nodes())
+
+    @property
+    def influence_arc_count(self) -> int:
+        return self.graph.number_of_arcs(EColor.INFLUENCE)
+
+    @property
+    def trading_arc_count(self) -> int:
+        return self.graph.number_of_arcs(EColor.TRADING)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SubTPIIN #{self.index} nodes={len(self.nodes)} "
+            f"IN={self.influence_arc_count} TR={self.trading_arc_count}>"
+        )
+
+
+@dataclass
+class SegmentationResult:
+    """All subTPIINs plus the trading arcs the split dismissed.
+
+    ``total_components`` counts every MWCS of the antecedent network
+    (Algorithm 1's ``L``), including trivial ones that ``skip_trivial``
+    dropped from ``subtpiins``.
+    """
+
+    subtpiins: list[SubTPIIN] = field(default_factory=list)
+    cross_component_trades: list[tuple[Node, Node]] = field(default_factory=list)
+    total_components: int = 0
+
+    @property
+    def number_of_subtpiins(self) -> int:
+        return len(self.subtpiins)
+
+    def __iter__(self):
+        return iter(self.subtpiins)
+
+
+def segment(tpiin: TPIIN, *, skip_trivial: bool = False) -> SegmentationResult:
+    """Split ``tpiin`` into its subTPIINs.
+
+    Components are discovered over the influence arcs only (Algorithm 1,
+    step 3: ``findsubgraph`` on the ``Antecedent`` matrix); each trading
+    arc is then attached to the component containing both endpoints, or
+    recorded as an unsuspicious *cross-component trade* otherwise
+    (Algorithm 1, step 5).
+
+    ``skip_trivial`` drops subTPIINs that cannot possibly host a group —
+    those without any trading arc — which is a pure optimization: the
+    pattern search on them yields no type-(b) walk and hence no match.
+    """
+    graph = tpiin.graph
+    components = weakly_connected_components(graph, EColor.INFLUENCE)
+    component_of: dict[Node, int] = {}
+    for index, component in enumerate(components):
+        for node in component:
+            component_of[node] = index
+
+    subgraphs: list[DiGraph] = []
+    for component in components:
+        sub = DiGraph()
+        for node in component:
+            sub.add_node(node, graph.node_color(node))
+        subgraphs.append(sub)
+    for tail, head, _color in graph.arcs(EColor.INFLUENCE):
+        subgraphs[component_of[tail]].add_arc(tail, head, EColor.INFLUENCE)
+
+    cross: list[tuple[Node, Node]] = []
+    for tail, head in tpiin.trading_arcs():
+        tail_component = component_of[tail]
+        if tail_component == component_of[head]:
+            subgraphs[tail_component].add_arc(tail, head, EColor.TRADING)
+        else:
+            cross.append((tail, head))
+
+    subtpiins: list[SubTPIIN] = []
+    for sub in subgraphs:
+        if skip_trivial and sub.number_of_arcs(EColor.TRADING) == 0:
+            continue
+        subtpiins.append(SubTPIIN(index=len(subtpiins), graph=sub))
+    return SegmentationResult(
+        subtpiins=subtpiins,
+        cross_component_trades=cross,
+        total_components=len(components),
+    )

@@ -1,0 +1,48 @@
+"""Colored network-based model (CNBM): entities, roles and source graphs."""
+
+from repro.model.colors import (
+    AffiliationKind,
+    EColor,
+    InfluenceKind,
+    InterdependenceKind,
+    RelationKind,
+    VColor,
+)
+from repro.model.entities import Company, EntityRegistry, Person, Syndicate
+from repro.model.homogeneous import (
+    AffiliationGraph,
+    InfluenceGraph,
+    InterdependenceGraph,
+    InvestmentGraph,
+    TradingGraph,
+)
+from repro.model.roles import (
+    FULL_ROLE_COMBINATIONS,
+    LEGAL_PERSON_ROLES,
+    REDUCED_ROLE_COMBINATIONS,
+    Position,
+    Role,
+)
+
+__all__ = [
+    "AffiliationGraph",
+    "AffiliationKind",
+    "Company",
+    "EColor",
+    "EntityRegistry",
+    "FULL_ROLE_COMBINATIONS",
+    "InfluenceGraph",
+    "InfluenceKind",
+    "InterdependenceGraph",
+    "InterdependenceKind",
+    "InvestmentGraph",
+    "LEGAL_PERSON_ROLES",
+    "Person",
+    "Position",
+    "REDUCED_ROLE_COMBINATIONS",
+    "RelationKind",
+    "Role",
+    "Syndicate",
+    "TradingGraph",
+    "VColor",
+]

@@ -1,0 +1,96 @@
+"""Color vocabularies of the colored network-based model (CNBM).
+
+The paper distinguishes two vocabularies:
+
+* the **fused** TPIIN vocabulary of Definition 1 — two node colors
+  (``Person``, ``Company``) and two arc colors (``IN`` influence, ``TR``
+  trading); and
+* the **raw** relationship vocabulary of the source networks — kinship
+  and interlocking (interdependence links of *G1*), the four influence
+  subclasses of *G2*, investment arcs of *GI*, and trading arcs of *G4*.
+
+The fusion pipeline consumes the raw vocabulary and emits the fused one.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = [
+    "VColor",
+    "EColor",
+    "InterdependenceKind",
+    "InfluenceKind",
+    "RelationKind",
+    "AffiliationKind",
+]
+
+
+class VColor(str, enum.Enum):
+    """Node colors of the fused TPIIN (Definition 1's ``VColor``)."""
+
+    PERSON = "Person"
+    COMPANY = "Company"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class EColor(str, enum.Enum):
+    """Arc colors of the fused TPIIN (Definition 1's ``EColor``).
+
+    ``IN`` covers influence in the wide sense — direct person-to-company
+    influence *and* company-to-company investment, which Section 4.1
+    folds into the influence color when building G123.  ``TR`` is the
+    trading relationship.  In the figures ``IN`` arcs are blue and ``TR``
+    arcs are black, matching the 1/0 codes of the edge-list format.
+    """
+
+    INFLUENCE = "IN"
+    TRADING = "TR"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class InterdependenceKind(str, enum.Enum):
+    """The two relationships carried by *G1*'s unidirectional edges."""
+
+    KINSHIP = "kinship"  # brown edges in the figures
+    INTERLOCKING = "interlocking"  # yellow edges in the figures
+
+
+class InfluenceKind(str, enum.Enum):
+    """The four person-to-company influence subclasses of *G2*."""
+
+    CEO_AND_D_OF = "is-an-CEO-and-D-of"
+    CEO_OF = "is-CEO-of"
+    CB_OF = "is-CB-of"
+    D_OF = "is-a-D-of"
+
+
+class RelationKind(str, enum.Enum):
+    """Arc colors used by the homogeneous graphs before fusion."""
+
+    INTERDEPENDENCE = "Interdependence"
+    INFLUENCE = "Influence"
+    INVESTMENT = "Investment"
+    TRADING = "Trading"
+    AFFILIATION = "Affiliation"
+
+
+class AffiliationKind(str, enum.Enum):
+    """Additional company-to-company covert relationships.
+
+    The paper's conclusion flags "the introduction of more relationships
+    into the heterogeneous information network" as future work; these
+    are the kinds Chinese transfer-pricing practice most often cites
+    beyond shareholding.  All of them give the source company influence
+    over the target's dealings, so fusion folds them into the ``IN``
+    color alongside investment.
+    """
+
+    GUARANTEE = "guarantee"  # loan guarantor -> guaranteed company
+    FRANCHISE = "franchise"  # franchisor -> franchisee
+    LICENSING = "licensing"  # IP licensor -> licensee
+    EXCLUSIVE_SUPPLY = "exclusive-supply"  # sole supplier -> dependent buyer

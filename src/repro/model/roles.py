@@ -1,0 +1,136 @@
+"""Person-role algebra of Section 4.1.
+
+A person may hold several positions: Chairman of the Board (CB), Chief
+Executive Officer (CEO), Shareholder (S) and Director (D).  The paper
+starts from the fifteen non-empty combinations, argues that in realistic
+companies a shareholder relevant to decision making is himself a director
+— so ``S`` may be absorbed into ``D`` — which collapses the fifteen
+subclasses to seven, and finally notes that a **legal person** (LP) must
+hold one of six of those seven combinations (a pure director cannot be an
+LP under the Company Act rules the paper quotes).
+
+This module implements that algebra with a :class:`Role` flag set:
+
+>>> Role.from_positions("CEO", "S")
+<Role.CEO|D: 6>
+>>> Role.CEO in Role.from_positions("CEO", "S")
+True
+>>> len(REDUCED_ROLE_COMBINATIONS)
+7
+>>> len(LEGAL_PERSON_ROLES)
+6
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+
+__all__ = [
+    "Position",
+    "Role",
+    "FULL_ROLE_COMBINATIONS",
+    "REDUCED_ROLE_COMBINATIONS",
+    "LEGAL_PERSON_ROLES",
+    "reduce_positions",
+]
+
+
+class Position(str, enum.Enum):
+    """The four raw positions recorded in the source registries."""
+
+    CB = "CB"
+    CEO = "CEO"
+    S = "S"  # shareholder; absorbed into D by the reduction
+    D = "D"
+
+
+class Role(enum.Flag):
+    """Reduced role subclasses: combinations of CB, CEO and D."""
+
+    CB = enum.auto()
+    CEO = enum.auto()
+    D = enum.auto()
+
+    @classmethod
+    def from_positions(cls, *positions: str | Position) -> "Role":
+        """Map raw positions to a reduced role (the 15 -> 7 reduction).
+
+        A shareholder (``S``) engaged in the monitoring and decision
+        making of a company is treated as a director, per Section 4.1.
+        """
+        role = cls(0)
+        for position in positions:
+            position = Position(position)
+            if position is Position.CB:
+                role |= cls.CB
+            elif position is Position.CEO:
+                role |= cls.CEO
+            else:  # S and D both reduce to D
+                role |= cls.D
+        if not role:
+            raise ValueError("a person must hold at least one position")
+        return role
+
+    @property
+    def is_director(self) -> bool:
+        return bool(self & Role.D)
+
+    @property
+    def is_ceo(self) -> bool:
+        return bool(self & Role.CEO)
+
+    @property
+    def is_chairman(self) -> bool:
+        return bool(self & Role.CB)
+
+    def label(self) -> str:
+        """Stable human-readable label, e.g. ``"CEO+D"``."""
+        parts = [
+            name
+            for name, member in [("CEO", Role.CEO), ("D", Role.D), ("CB", Role.CB)]
+            if self & member
+        ]
+        return "+".join(parts)
+
+
+def _nonempty_combinations(items: tuple[str, ...]) -> list[frozenset[str]]:
+    result = []
+    for size in range(1, len(items) + 1):
+        for combo in itertools.combinations(items, size):
+            result.append(frozenset(combo))
+    return result
+
+
+#: The fifteen non-empty subsets of {CB, CEO, S, D} (Section 4.1).
+FULL_ROLE_COMBINATIONS: list[frozenset[str]] = _nonempty_combinations(
+    ("CB", "CEO", "S", "D")
+)
+
+#: The seven reduced subclasses after absorbing S into D.
+REDUCED_ROLE_COMBINATIONS: list[Role] = [
+    Role.CEO | Role.D | Role.CB,
+    Role.CEO | Role.D,
+    Role.CEO | Role.CB,
+    Role.D | Role.CB,
+    Role.CB,
+    Role.D,
+    Role.CEO,
+]
+
+#: Role subclasses a legal person may hold.  A pure director cannot be
+#: the LP: the Company Act assigns the LP role to a CB, an executive /
+#: managing director (CEO and D) or a CEO.
+LEGAL_PERSON_ROLES: frozenset[Role] = frozenset(
+    r for r in REDUCED_ROLE_COMBINATIONS if r != Role.D
+)
+
+
+def reduce_positions(positions: frozenset[str]) -> Role:
+    """Reduce one of the fifteen raw combinations to its reduced role."""
+    return Role.from_positions(*positions)
+
+
+def admissible_legal_person(role: Role) -> bool:
+    """True when ``role`` may carry the legal-person designation."""
+    return role in LEGAL_PERSON_ROLES

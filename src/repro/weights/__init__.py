@@ -1,0 +1,27 @@
+"""Edge weighting, ownership control and suspicion scoring (future work)."""
+
+from repro.weights.ownership import (
+    ShareholdingRegister,
+    derive_investment_graph,
+    effective_control,
+    stake_arc_weights,
+)
+from repro.weights.scoring import (
+    WeightConfig,
+    rank_groups,
+    rank_trading_arcs,
+    score_group,
+    score_trading_arc,
+)
+
+__all__ = [
+    "ShareholdingRegister",
+    "WeightConfig",
+    "derive_investment_graph",
+    "effective_control",
+    "rank_groups",
+    "rank_trading_arcs",
+    "score_group",
+    "score_trading_arc",
+    "stake_arc_weights",
+]

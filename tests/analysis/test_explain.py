@@ -1,0 +1,127 @@
+"""Unit tests for proof-chain narratives."""
+
+from repro.analysis.explain import explain_arc, explain_group
+from repro.datagen.cases import fig7_source_graphs
+from repro.fusion.pipeline import fuse
+from repro.fusion.tpiin import TPIIN
+from repro.mining.detector import detect
+from repro.mining.groups import GroupKind, SuspiciousGroup
+
+
+class TestExplainFused:
+    def test_narrative_uses_provenance_and_registry(self):
+        from repro.model.entities import EntityRegistry
+
+        src = fig7_source_graphs()
+        registry = EntityRegistry()
+        tpiin = fuse(
+            src.interdependence,
+            src.influence,
+            src.investment,
+            src.trading,
+            registry=registry,
+        ).tpiin
+        result = detect(tpiin)
+        l1 = tpiin.node_map["L6"]
+        group = next(g for g in result.groups if g.antecedent == l1)
+        text = explain_group(group, tpiin)
+        assert "kinship" in text  # syndicate merge reason
+        assert "L6" in text and "LB" in text  # syndicate members
+        assert "legal representative" in text  # is-CEO-of provenance
+        assert "major share" in text  # investment provenance
+        assert "simple group" in text
+
+    def test_explain_arc_aggregates(self):
+        src = fig7_source_graphs()
+        tpiin = fuse(
+            src.interdependence, src.influence, src.investment, src.trading
+        ).tpiin
+        result = detect(tpiin)
+        text = explain_arc(("C5", "C6"), result, tpiin)
+        assert "proof chain" in text
+        assert "B1" in text
+
+    def test_unsuspicious_arc(self, fig8):
+        result = detect(fig8)
+        text = explain_arc(("C8", "C4"), result, fig8)
+        assert "not an IAT candidate" in text
+
+
+class TestExplainShapes:
+    def test_unfused_tpiin_falls_back_to_generic_phrase(self, fig8):
+        result = detect(fig8)
+        group = result.groups[0]
+        text = explain_group(group, fig8)
+        assert "influences" in text  # no provenance available
+
+    def test_circle_narrative(self):
+        tpiin = TPIIN.build(
+            persons=["a"],
+            companies=["c4", "c5"],
+            influence=[("a", "c4"), ("c4", "c5")],
+            trading=[("c5", "c4")],
+        )
+        result = detect(tpiin)
+        circle = next(g for g in result.groups if g.kind is GroupKind.CIRCLE)
+        text = explain_group(circle, tpiin)
+        assert "control circle" in text
+
+    def test_scs_narrative(self):
+        group = SuspiciousGroup(
+            trading_trail=("a", "b"),
+            support_trail=("a", "x", "b"),
+            kind=GroupKind.SCS,
+        )
+        text = explain_group(group, TPIIN.build(companies=["a", "b", "x"]))
+        assert "mutual-investment bloc" in text
+
+    def test_syndicate_name_fallback_without_registry(self):
+        tpiin = TPIIN.build(
+            persons=["syn:L6+LB"],
+            companies=["C1", "C2"],
+            influence=[("syn:L6+LB", "C1"), ("syn:L6+LB", "C2")],
+            trading=[("C1", "C2")],
+        )
+        result = detect(tpiin)
+        text = explain_group(result.groups[0], tpiin)
+        assert "person syndicate" in text
+
+
+class TestCriticalEvidence:
+    def test_single_chain_is_all_critical(self, fig8):
+        from repro.analysis.explain import critical_evidence
+
+        result = detect(fig8)
+        critical = critical_evidence(("C3", "C5"), result)
+        # One proof chain: every influence hop in it is critical.
+        assert critical == frozenset(
+            {("L1", "C1"), ("C1", "C3"), ("L1", "C2"), ("C2", "C5")}
+        )
+
+    def test_redundant_chains_have_no_single_point(self):
+        from repro.analysis.explain import critical_evidence
+        from repro.fusion.tpiin import TPIIN
+
+        # Two independent antecedents behind the same trade.
+        tpiin = TPIIN.build(
+            persons=["p", "q"],
+            companies=["X", "Y"],
+            influence=[("p", "X"), ("p", "Y"), ("q", "X"), ("q", "Y")],
+            trading=[("X", "Y")],
+        )
+        result = detect(tpiin)
+        assert len(result.groups_for_arc(("X", "Y"))) == 2
+        assert critical_evidence(("X", "Y"), result) == frozenset()
+        text = explain_arc(("X", "Y"), result, tpiin)
+        assert "redundant" in text
+
+    def test_unsuspicious_arc_empty(self, fig8):
+        from repro.analysis.explain import critical_evidence
+
+        assert critical_evidence(("C8", "C4"), detect(fig8)) == frozenset()
+
+    def test_critical_listed_in_narrative(self, fig8):
+        result = detect(fig8)
+        text = explain_arc(("C3", "C5"), result, fig8)
+        assert "Critical evidence" in text
+        assert "L1 -> C1" in text

@@ -1,0 +1,97 @@
+"""Unit tests for the per-company investigation drill-down."""
+
+import pytest
+
+from repro.analysis.investigate import investigate_company
+from repro.errors import MiningError
+from repro.mining.detector import detect
+
+
+class TestInvestigateFig8:
+    @pytest.fixture()
+    def c5(self, fig8):
+        return investigate_company(fig8, detect(fig8), "C5")
+
+    def test_influencers(self, c5):
+        assert c5.influencers == ["B1", "L3"]
+
+    def test_investors_and_holdings(self, c5):
+        assert c5.investors == ["C2"]
+        assert c5.holdings == []
+
+    def test_affiliated_companies(self, c5):
+        # Everything reachable from C5's antecedent cone.
+        assert "C1" in c5.affiliated_companies
+        assert "C3" in c5.affiliated_companies
+        assert "C6" in c5.affiliated_companies  # via B1
+        assert "C5" not in c5.affiliated_companies
+
+    def test_groups_and_arcs(self, c5):
+        assert len(c5.groups) == 2  # the L1 group and the B1 group
+        sales = dict(c5.suspicious_sales)
+        purchases = dict(c5.suspicious_purchases)
+        assert "C6" in sales
+        assert "C3" in purchases
+        assert all(0 < s <= 1 for s in sales.values())
+
+    def test_render(self, c5):
+        text = c5.render()
+        assert "C5" in text
+        assert "suspicious sales" in text
+        assert "B1" in text
+
+    def test_investment_tree(self, fig8):
+        result = detect(fig8)
+        c1 = investigate_company(fig8, result, "C1")
+        tree = c1.investment_tree(fig8)
+        assert tree.splitlines()[0] == "C1"
+        assert "-> C3" in tree
+
+
+class TestErrors:
+    def test_unknown_company(self, fig8):
+        with pytest.raises(MiningError, match="not in the TPIIN"):
+            investigate_company(fig8, detect(fig8), "C99")
+
+    def test_person_rejected(self, fig8):
+        with pytest.raises(MiningError, match="not a company"):
+            investigate_company(fig8, detect(fig8), "L1")
+
+
+class TestNeighborhood:
+    def test_radius_one(self, fig8):
+        from repro.analysis.investigate import extract_neighborhood
+
+        ego = extract_neighborhood(fig8, "C5", radius=1)
+        nodes = set(ego.graph.nodes())
+        assert nodes == {"C5", "C2", "L3", "B1", "C3", "C6", "C7"}
+        # Induced arcs only.
+        assert ego.graph.has_arc("C3", "C5")
+        assert not ego.graph.has_node("C8")
+
+    def test_radius_zero(self, fig8):
+        from repro.analysis.investigate import extract_neighborhood
+
+        ego = extract_neighborhood(fig8, "C5", radius=0)
+        assert set(ego.graph.nodes()) == {"C5"}
+
+    def test_provenance_carried(self):
+        from repro.analysis.investigate import extract_neighborhood
+        from repro.datagen.cases import fig7_source_graphs
+        from repro.fusion.pipeline import fuse
+
+        src = fig7_source_graphs()
+        tpiin = fuse(
+            src.interdependence, src.influence, src.investment, src.trading
+        ).tpiin
+        ego = extract_neighborhood(tpiin, "C5", radius=1)
+        assert ego.provenance_of("C2", "C5")  # investment label survives
+
+    def test_errors(self, fig8):
+        from repro.analysis.investigate import extract_neighborhood
+        from repro.errors import MiningError
+
+        with pytest.raises(MiningError):
+            extract_neighborhood(fig8, "ZZZ")
+        with pytest.raises(MiningError):
+            extract_neighborhood(fig8, "C5", radius=-1)

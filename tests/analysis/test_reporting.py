@@ -1,0 +1,44 @@
+"""Unit tests for table rendering."""
+
+import pytest
+
+from repro.analysis.reporting import format_number, render_table
+
+
+class TestFormatNumber:
+    def test_ints_grouped(self):
+        assert format_number(1234567) == "1,234,567"
+
+    def test_floats_trimmed(self):
+        assert format_number(5.1000) == "5.1"
+        assert format_number(5.0) == "5"
+        assert format_number(0.1234567) == "0.1235"
+
+    def test_bools_and_strings(self):
+        assert format_number(True) == "True"
+        assert format_number("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["a", "b"], [[1, 22], [333, 4]])
+        lines = text.splitlines()
+        assert lines[0].endswith("b")
+        assert lines[2].startswith("  1")
+        assert lines[3].startswith("333")
+
+    def test_separator_row(self):
+        text = render_table(["col"], [[1]])
+        assert "---" in text.splitlines()[1]
+
+    def test_left_alignment(self):
+        text = render_table(["name"], [["xy"]], align_right=False)
+        assert text.splitlines()[2].startswith("xy")
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        text = render_table(["a"], [])
+        assert len(text.splitlines()) == 2

@@ -1,0 +1,62 @@
+"""Unit tests for trend tracking over temporal windows."""
+
+import pytest
+
+from repro.analysis.trends import render_trend, sparkline, suspicion_trend
+from repro.fusion.tpiin import TPIIN
+from repro.mining.temporal import TimedTrade, sliding_window_detect
+
+
+@pytest.fixture()
+def windows(fig8):
+    antecedent = TPIIN(graph=fig8.antecedent_graph())
+    trades = [
+        TimedTrade("C3", "C5", 0, 10),
+        TimedTrade("C5", "C6", 5, 20),
+        TimedTrade("C8", "C4", 0, 30),
+        TimedTrade("C7", "C8", 15, 25),
+    ]
+    return list(sliding_window_detect(antecedent, trades, window=10, step=10))
+
+
+class TestTrend:
+    def test_points_match_windows(self, windows):
+        points = suspicion_trend(windows)
+        assert len(points) == len(windows)
+        first = points[0]
+        assert first.total_arcs == 3  # C3->C5, C5->C6, C8->C4 active
+        assert first.suspicious_arcs == 2
+        assert first.new_alerts == 2
+        assert first.resolved_alerts == 0
+
+    def test_share_computation(self, windows):
+        points = suspicion_trend(windows)
+        for point in points:
+            if point.total_arcs:
+                assert point.suspicious_share == pytest.approx(
+                    point.suspicious_arcs / point.total_arcs
+                )
+
+    def test_render(self, windows):
+        text = render_trend(suspicion_trend(windows))
+        assert "alert churn" in text
+        assert "share trend:" in text
+        assert "[0, 10)" in text
+
+    def test_empty(self):
+        assert suspicion_trend([]) == []
+        assert render_trend([]).startswith("window")
+
+
+class TestSparkline:
+    def test_scaling(self):
+        line = sparkline([0.0, 0.5, 1.0])
+        assert len(line) == 3
+        assert line[0] == " "
+        assert line[2] == "@"
+
+    def test_all_zero(self):
+        assert sparkline([0.0, 0.0]) == "  "
+
+    def test_empty(self):
+        assert sparkline([]) == ""

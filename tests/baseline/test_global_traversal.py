@@ -1,0 +1,85 @@
+"""Unit tests for the global-traversal baseline."""
+
+import pytest
+
+from repro.errors import MiningError
+from repro.baseline.global_traversal import (
+    enumerate_trails_from,
+    global_traversal_detect,
+)
+from repro.mining.detector import detect
+
+
+class TestTrailEnumeration:
+    def test_all_prefixes_emitted(self, fig6):
+        trails = enumerate_trails_from(fig6.graph, "P1")
+        sequences = {nodes for nodes, _closed in trails}
+        assert ("P1",) in sequences
+        assert ("P1", "C1") in sequences
+        assert ("P1", "C1", "C2") in sequences
+
+    def test_trading_closures_flagged(self, fig6):
+        trails = enumerate_trails_from(fig6.graph, "P1")
+        closed = {nodes for nodes, closed in trails if closed}
+        assert ("P1", "C1", "C2", "C3") in closed
+        open_trails = {nodes for nodes, closed in trails if not closed}
+        assert ("P1", "C3") in open_trails
+
+
+class TestRootsMode:
+    @pytest.mark.parametrize("fixture", ["fig6", "fig8", "case1", "case2", "case3"])
+    def test_matches_detector(self, fixture, request):
+        tpiin = request.getfixturevalue(fixture)
+        baseline = global_traversal_detect(tpiin, starts="roots")
+        faithful = detect(tpiin)
+        assert {g.key() for g in baseline.groups} == {
+            g.key() for g in faithful.groups
+        }
+        assert baseline.suspicious_trading_arcs == faithful.suspicious_trading_arcs
+
+    def test_small_province(self, small_province_tpiin):
+        baseline = global_traversal_detect(small_province_tpiin, starts="roots")
+        faithful = detect(small_province_tpiin)
+        assert {g.key() for g in baseline.groups} == {
+            g.key() for g in faithful.groups
+        }
+
+
+class TestAllMode:
+    def test_superset_of_roots_groups(self, fig8):
+        roots_mode = global_traversal_detect(fig8, starts="roots")
+        all_mode = global_traversal_detect(fig8, starts="all")
+        root_keys = {g.key() for g in roots_mode.groups}
+        all_keys = {g.key() for g in all_mode.groups}
+        assert root_keys <= all_keys
+
+    def test_same_suspicious_arcs(self, fig8):
+        roots_mode = global_traversal_detect(fig8, starts="roots")
+        all_mode = global_traversal_detect(fig8, starts="all")
+        assert (
+            roots_mode.suspicious_trading_arcs == all_mode.suspicious_trading_arcs
+        )
+
+    def test_finds_interior_anchored_subgroups(self, fig6):
+        # From start C1 the pair {C1,C2,C3 trail, C1..} does not exist in
+        # fig6 (C1 has no influence path to C3), so counts stay equal
+        # there; build a case where an interior company is an antecedent.
+        from repro.fusion.tpiin import TPIIN
+
+        t = TPIIN.build(
+            persons=["p"],
+            companies=["m", "c1", "c2"],
+            influence=[("p", "m"), ("m", "c1"), ("m", "c2")],
+            trading=[("c1", "c2")],
+        )
+        all_mode = global_traversal_detect(t, starts="all")
+        roots_mode = global_traversal_detect(t, starts="roots")
+        # The m-anchored triangle only appears in "all" mode.
+        antecedents_all = {g.antecedent for g in all_mode.groups}
+        antecedents_roots = {g.antecedent for g in roots_mode.groups}
+        assert "m" in antecedents_all
+        assert antecedents_roots == {"p"}
+
+    def test_unknown_mode_rejected(self, fig6):
+        with pytest.raises(MiningError, match="starts"):
+            global_traversal_detect(fig6, starts="sideways")

@@ -1,0 +1,42 @@
+"""Unit tests for the naive polygon-pattern enumeration baseline."""
+
+from repro.baseline.pattern_enum import enumerate_polygon_patterns
+from repro.mining.detector import detect
+
+
+class TestPolygonEnumeration:
+    def test_fig8_finds_the_simple_groups(self, fig8):
+        result = enumerate_polygon_patterns(fig8)
+        got = {(frozenset(g.members), g.antecedent) for g in result.groups}
+        expected = {
+            (frozenset(g.members), g.antecedent)
+            for g in detect(fig8).groups
+            if g.is_simple and len(g.members) <= 6
+        }
+        assert got == expected
+
+    def test_case2_triangle(self, case2):
+        result = enumerate_polygon_patterns(case2, max_size=3)
+        assert result.group_count == 1
+        group = result.groups[0]
+        assert group.members == frozenset({"C4", "C5", "C6"})
+
+    def test_candidate_count_grows_with_size(self, fig8):
+        small = enumerate_polygon_patterns(fig8, max_size=3)
+        large = enumerate_polygon_patterns(fig8, max_size=6)
+        assert large.candidates_examined > small.candidates_examined
+        assert large.shapes_enumerated > small.shapes_enumerated
+
+    def test_budget_truncation(self, fig8):
+        result = enumerate_polygon_patterns(fig8, max_candidates=10)
+        assert result.truncated
+
+    def test_no_duplicates(self, fig8):
+        result = enumerate_polygon_patterns(fig8)
+        keys = [g.key() for g in result.groups]
+        assert len(keys) == len(set(keys))
+
+    def test_shapes_count(self, fig8):
+        # k-gon has k-2 branch splits; sizes 3..6 give 1+2+3+4 = 10.
+        result = enumerate_polygon_patterns(fig8, max_size=6)
+        assert result.shapes_enumerated == 10

@@ -1,0 +1,59 @@
+"""Shared fixtures: the paper's worked examples and small datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.cases import (
+    case1_tpiin,
+    case2_tpiin,
+    case3_tpiin,
+    fig6_tpiin,
+    fig7_source_graphs,
+    fig8_tpiin,
+)
+from repro.datagen.config import ProvinceConfig
+from repro.datagen.province import generate_province
+
+
+@pytest.fixture()
+def fig6():
+    return fig6_tpiin()
+
+
+@pytest.fixture()
+def fig8():
+    return fig8_tpiin()
+
+
+@pytest.fixture()
+def fig7_sources():
+    return fig7_source_graphs()
+
+
+@pytest.fixture()
+def case1():
+    return case1_tpiin()
+
+
+@pytest.fixture()
+def case2():
+    return case2_tpiin()
+
+
+@pytest.fixture()
+def case3():
+    return case3_tpiin()
+
+
+@pytest.fixture(scope="session")
+def small_province():
+    """A 150-company provincial dataset shared across the test session."""
+    return generate_province(ProvinceConfig.small(companies=150, seed=11))
+
+
+@pytest.fixture(scope="session")
+def small_province_tpiin(small_province):
+    """The small province fused with a p=0.01 trading overlay."""
+    base = small_province.antecedent_tpiin()
+    return small_province.overlay_trading(base, 0.01)

@@ -1,0 +1,53 @@
+"""Unit tests for cluster-size planning."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.clusters import ordered_pair_share, plan_cluster_sizes
+from repro.errors import DataGenError
+
+
+class TestPlanning:
+    def test_sizes_sum_to_total(self):
+        sizes = plan_cluster_sizes(2452, 0.05, rng=np.random.default_rng(0))
+        assert sum(sizes) == 2452
+
+    def test_share_near_target(self):
+        sizes = plan_cluster_sizes(2452, 0.05, rng=np.random.default_rng(0))
+        share = ordered_pair_share(sizes, 2452)
+        assert share == pytest.approx(0.05, rel=0.12)
+
+    def test_max_fraction_respected(self):
+        sizes = plan_cluster_sizes(
+            2000, 0.05, max_fraction=0.1, rng=np.random.default_rng(1)
+        )
+        assert max(sizes) <= 200
+
+    def test_zero_share_gives_singletons(self):
+        sizes = plan_cluster_sizes(50, 0.0, rng=np.random.default_rng(2))
+        assert sizes == [1] * 50
+
+    def test_small_population(self):
+        sizes = plan_cluster_sizes(5, 0.3, rng=np.random.default_rng(3))
+        assert sum(sizes) == 5
+
+    def test_deterministic_given_rng_seed(self):
+        a = plan_cluster_sizes(500, 0.05, rng=np.random.default_rng(9))
+        b = plan_cluster_sizes(500, 0.05, rng=np.random.default_rng(9))
+        assert a == b
+
+    def test_invalid_inputs(self):
+        with pytest.raises(DataGenError):
+            plan_cluster_sizes(0, 0.05)
+        with pytest.raises(DataGenError):
+            plan_cluster_sizes(10, 1.5)
+
+
+class TestShare:
+    def test_ordered_pair_share(self):
+        assert ordered_pair_share([2], 2) == 1.0
+        assert ordered_pair_share([1, 1], 2) == 0.0
+        assert ordered_pair_share([3, 1], 4) == pytest.approx(6 / 12)
+
+    def test_tiny_population(self):
+        assert ordered_pair_share([1], 1) == 0.0

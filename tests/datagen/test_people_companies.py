@@ -1,0 +1,56 @@
+"""Unit tests for the entity factories."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.companies import INDUSTRIES, REGIONS, make_company
+from repro.datagen.people import make_director, make_legal_person
+from repro.model.roles import Role
+
+
+class TestPeopleFactories:
+    def test_legal_person_roles(self):
+        rng = np.random.default_rng(0)
+        lp = make_legal_person("L1", ("C1", "C2"), rng)
+        assert lp.is_legal_person
+        assert lp.legal_person_of == ("C1", "C2")
+        assert lp.role == Role.CEO | Role.D
+
+    def test_chairman_variant(self):
+        rng = np.random.default_rng(0)
+        lp = make_legal_person("L1", ("C1",), rng, chairman=True)
+        assert lp.role == Role.CEO | Role.CB
+
+    def test_director(self):
+        rng = np.random.default_rng(0)
+        d = make_director("D1", rng)
+        assert d.role == Role.D
+        assert not d.is_legal_person
+        assert d.name  # cosmetic name assigned
+
+    def test_names_deterministic_per_stream(self):
+        a = make_director("D1", np.random.default_rng(5)).name
+        b = make_director("D1", np.random.default_rng(5)).name
+        assert a == b
+
+
+class TestCompanyFactory:
+    def test_sampled_fields(self):
+        rng = np.random.default_rng(1)
+        company = make_company("C1", rng)
+        assert company.industry in INDUSTRIES
+        assert company.region in REGIONS
+        assert company.company_id == "C1"
+        assert "C1" in company.name
+
+    def test_explicit_industry(self):
+        rng = np.random.default_rng(1)
+        company = make_company("C1", rng, industry="chemicals", scale="large")
+        assert company.industry == "chemicals"
+        assert company.scale == "large"
+
+    def test_mostly_domestic(self):
+        rng = np.random.default_rng(2)
+        regions = [make_company(f"C{i}", rng).region for i in range(300)]
+        domestic = sum(1 for r in regions if r == "domestic")
+        assert domestic > 240  # ~90% weighting

@@ -1,0 +1,106 @@
+"""Unit tests for planted evasion rings and structure recovery."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.config import ProvinceConfig
+from repro.datagen.planted import (
+    RING_SHAPES,
+    plant_evasion_rings,
+    recovered_rings,
+)
+from repro.datagen.province import generate_province
+from repro.errors import DataGenError
+from repro.fusion.pipeline import fuse
+from repro.mining.detector import detect
+from repro.model.homogeneous import (
+    InfluenceGraph,
+    InterdependenceGraph,
+    InvestmentGraph,
+    TradingGraph,
+)
+
+
+def empty_sources():
+    return (
+        InterdependenceGraph(),
+        InfluenceGraph(),
+        InvestmentGraph(),
+        TradingGraph(),
+    )
+
+
+class TestPlanting:
+    def test_all_shapes_recovered_in_isolation(self):
+        g1, g2, gi, g4 = empty_sources()
+        rings = plant_evasion_rings(
+            g1, g2, gi, g4, count=len(RING_SHAPES), rng=np.random.default_rng(1)
+        )
+        assert [r.shape for r in rings] == list(RING_SHAPES)
+        tpiin = fuse(g1, g2, gi, g4).tpiin
+        result = detect(tpiin)
+        recovery = recovered_rings(rings, result, tpiin)
+        assert all(recovery.values()), recovery
+
+    def test_membership_is_exact(self):
+        g1, g2, gi, g4 = empty_sources()
+        rings = plant_evasion_rings(
+            g1, g2, gi, g4, count=1, shapes=("pentagon",), rng=np.random.default_rng(2)
+        )
+        tpiin = fuse(g1, g2, gi, g4).tpiin
+        result = detect(tpiin)
+        ring = rings[0]
+        groups = result.groups_for_arc(ring.trading_arc)
+        assert any(g.members == ring.expected_members(tpiin) for g in groups)
+        # A pentagon's simple group has 5 distinct members.
+        assert len(ring.expected_members(tpiin)) == 5
+
+    def test_interlocking_persons_merge(self):
+        g1, g2, gi, g4 = empty_sources()
+        rings = plant_evasion_rings(
+            g1, g2, gi, g4, count=1, shapes=("interlocking",),
+            rng=np.random.default_rng(3),
+        )
+        tpiin = fuse(g1, g2, gi, g4).tpiin
+        ring = rings[0]
+        merged = tpiin.node_map[ring.persons[0]]
+        assert tpiin.node_map[ring.persons[1]] == merged
+        assert merged in ring.expected_members(tpiin)
+
+    def test_invalid_inputs(self):
+        g1, g2, gi, g4 = empty_sources()
+        with pytest.raises(DataGenError):
+            plant_evasion_rings(g1, g2, gi, g4, count=-1)
+        with pytest.raises(DataGenError, match="unknown"):
+            plant_evasion_rings(g1, g2, gi, g4, count=1, shapes=("blob",))
+
+
+class TestRecoveryInNoise:
+    def test_rings_survive_a_noisy_province(self):
+        dataset = generate_province(ProvinceConfig.small(companies=150, seed=19))
+        g1 = dataset.interdependence
+        g2 = dataset.influence
+        gi = dataset.investment
+        g4 = dataset.trading_graph(0.02)
+        rings = plant_evasion_rings(
+            g1, g2, gi, g4, count=10, rng=np.random.default_rng(4)
+        )
+        tpiin = fuse(g1, g2, gi, g4, validate_inputs=True).tpiin
+        result = detect(tpiin)
+        recovery = recovered_rings(rings, result, tpiin)
+        assert all(recovery.values()), {
+            k: v for k, v in recovery.items() if not v
+        }
+
+    def test_unplanted_arc_not_attributed_to_ring(self):
+        g1, g2, gi, g4 = empty_sources()
+        rings = plant_evasion_rings(
+            g1, g2, gi, g4, count=2, shapes=("triangle",),
+            rng=np.random.default_rng(5),
+        )
+        # A cross-ring trade has no common antecedent.
+        g4.add_trade(rings[0].companies[0], rings[1].companies[0])
+        tpiin = fuse(g1, g2, gi, g4).tpiin
+        result = detect(tpiin)
+        cross = (rings[0].companies[0], rings[1].companies[0])
+        assert cross not in result.suspicious_trading_arcs

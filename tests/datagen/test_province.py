@@ -1,0 +1,109 @@
+"""Unit tests for the provincial dataset generator."""
+
+import pytest
+
+from repro.datagen.config import ProvinceConfig
+from repro.datagen.province import generate_province
+from repro.model.colors import EColor
+
+
+@pytest.fixture(scope="module")
+def province():
+    return generate_province(ProvinceConfig.small(companies=200, seed=3))
+
+
+class TestEntityCounts:
+    def test_exact_counts(self, province):
+        cfg = province.config
+        assert len(province.registry.companies) == cfg.companies
+        lp_count = sum(len(c.lp_ids) for c in province.clusters)
+        d_count = sum(len(c.director_ids) for c in province.clusters)
+        assert lp_count == cfg.legal_persons
+        assert d_count == cfg.directors
+        assert len(province.registry.persons) == cfg.legal_persons + cfg.directors
+
+    def test_paper_scale_counts(self):
+        ds = generate_province()  # full default: paper scale
+        assert len(ds.registry.companies) == 2452
+        assert sum(len(c.lp_ids) for c in ds.clusters) == 1350
+        assert sum(len(c.director_ids) for c in ds.clusters) == 776
+
+    def test_company_ids_unique_and_ordered(self, province):
+        ids = province.company_ids
+        assert len(ids) == len(set(ids)) == province.config.companies
+
+
+class TestStructure:
+    def test_source_graphs_validate(self, province):
+        province.interdependence.validate()
+        province.influence.validate()
+        province.investment.validate()
+
+    def test_every_company_has_lp(self, province):
+        for company in province.company_ids:
+            assert company in province.lp_of
+            assert province.influence.legal_person(company) == province.lp_of[company]
+
+    def test_investment_acyclic_by_default(self, province):
+        from repro.graph.tarjan import nontrivial_sccs
+
+        assert nontrivial_sccs(province.investment.graph) == []
+
+    def test_planned_share_close_to_target(self, province):
+        assert province.planned_suspicious_share == pytest.approx(
+            province.config.target_suspicious_share, rel=0.25
+        )
+
+    def test_figure_stats_strings(self, province):
+        stats = province.figure_stats()
+        assert set(stats) == {"G1 (Fig. 11)", "G2 (Fig. 12)", "G3 (Fig. 13)"}
+
+
+class TestFusionPaths:
+    def test_fuse_with_validates(self, province):
+        trading = province.trading_graph(0.01)
+        result = province.fuse_with(trading, validate=True)
+        result.tpiin.validate()
+
+    def test_overlay_equals_full_fusion(self, province):
+        trading = province.trading_graph(0.01)
+        fused = province.fuse_with(trading).tpiin
+        base = province.antecedent_tpiin()
+        overlaid = province.overlay_trading(base, 0.01)
+        assert set(overlaid.graph.arcs()) == set(fused.graph.arcs())
+        assert set(overlaid.graph.nodes()) == set(fused.graph.nodes())
+        assert overlaid.intra_scs_trades == fused.intra_scs_trades
+
+    def test_determinism(self):
+        cfg = ProvinceConfig.small(companies=120, seed=42)
+        a = generate_province(cfg)
+        b = generate_province(cfg)
+        assert set(a.influence.graph.arcs()) == set(b.influence.graph.arcs())
+        assert set(a.investment.graph.arcs()) == set(b.investment.graph.arcs())
+        assert {
+            (u, v, k) for u, v, k in a.interdependence.graph.edges()
+        } == {(u, v, k) for u, v, k in b.interdependence.graph.edges()}
+
+    def test_seed_changes_structure(self):
+        a = generate_province(ProvinceConfig.small(companies=120, seed=1))
+        b = generate_province(ProvinceConfig.small(companies=120, seed=2))
+        assert set(a.influence.graph.arcs()) != set(b.influence.graph.arcs())
+
+
+class TestMutualInvestment:
+    def test_cycles_injected_and_contracted(self):
+        cfg = ProvinceConfig.small(companies=120, seed=5)
+        cfg = ProvinceConfig(
+            companies=cfg.companies,
+            legal_persons=cfg.legal_persons,
+            directors=cfg.directors,
+            seed=cfg.seed,
+            mutual_investment_pairs=3,
+        )
+        ds = generate_province(cfg)
+        from repro.graph.tarjan import nontrivial_sccs
+
+        assert nontrivial_sccs(ds.investment.graph) != []
+        base = ds.antecedent_tpiin()
+        assert base.scs_subgraphs  # contraction recorded provenance
+        base.validate()

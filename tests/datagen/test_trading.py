@@ -1,0 +1,96 @@
+"""Unit tests for the random trading-network generator."""
+
+import pytest
+
+from repro.datagen.config import TradingConfig
+from repro.datagen.trading import random_trading_arcs, random_trading_graph
+
+
+COMPANIES = [f"C{i}" for i in range(300)]
+
+
+class TestSampling:
+    def test_expected_count(self):
+        p = 0.01
+        arcs = random_trading_arcs(COMPANIES, TradingConfig(probability=p, seed=1))
+        expected = p * len(COMPANIES) * (len(COMPANIES) - 1)
+        assert len(arcs) == pytest.approx(expected, rel=0.25)
+
+    def test_no_self_loops(self):
+        arcs = random_trading_arcs(COMPANIES, TradingConfig(probability=0.05, seed=2))
+        assert all(a != b for a, b in arcs)
+
+    def test_no_duplicates(self):
+        arcs = random_trading_arcs(COMPANIES, TradingConfig(probability=0.05, seed=3))
+        assert len(arcs) == len(set(arcs))
+
+    def test_deterministic(self):
+        cfg = TradingConfig(probability=0.02, seed=11)
+        assert random_trading_arcs(COMPANIES, cfg) == random_trading_arcs(
+            COMPANIES, cfg
+        )
+
+    def test_different_probability_different_stream(self):
+        a = random_trading_arcs(COMPANIES, TradingConfig(probability=0.02, seed=11))
+        b = random_trading_arcs(COMPANIES, TradingConfig(probability=0.021, seed=11))
+        assert set(a) != set(b)
+
+    def test_zero_probability(self):
+        assert random_trading_arcs(COMPANIES, TradingConfig(probability=0.0)) == []
+
+    def test_tiny_population(self):
+        assert random_trading_arcs(["only"], TradingConfig(probability=0.5)) == []
+
+
+class TestGraphWrapper:
+    def test_graph_has_all_companies(self):
+        g4 = random_trading_graph(COMPANIES[:50], TradingConfig(probability=0.02, seed=4))
+        assert g4.number_of_companies == 50
+        g4.validate()
+
+    def test_arcs_match_sampler(self):
+        cfg = TradingConfig(probability=0.03, seed=5)
+        arcs = set(random_trading_arcs(COMPANIES[:80], cfg))
+        g4 = random_trading_graph(COMPANIES[:80], cfg)
+        assert {(t, h) for t, h, _c in g4.arcs()} == arcs
+
+
+class TestScaleFree:
+    def test_basic_properties(self):
+        from repro.datagen.trading import scale_free_trading_arcs
+
+        arcs = scale_free_trading_arcs(COMPANIES, arcs_per_company=3, seed=7)
+        assert arcs  # non-empty
+        assert all(a != b for a, b in arcs)
+        assert len(arcs) == len(set(arcs))
+        # Roughly 3 arcs per newcomer (duplicates collapse a few).
+        assert len(arcs) > 2 * (len(COMPANIES) - 1)
+
+    def test_hubs_emerge(self):
+        from collections import Counter
+
+        from repro.datagen.trading import scale_free_trading_arcs
+
+        arcs = scale_free_trading_arcs(COMPANIES, arcs_per_company=3, seed=7)
+        degree = Counter()
+        for a, b in arcs:
+            degree[a] += 1
+            degree[b] += 1
+        degrees = sorted(degree.values(), reverse=True)
+        # Heavy tail: the top node far exceeds the median.
+        assert degrees[0] > 4 * degrees[len(degrees) // 2]
+
+    def test_deterministic(self):
+        from repro.datagen.trading import scale_free_trading_arcs
+
+        a = scale_free_trading_arcs(COMPANIES, seed=9)
+        b = scale_free_trading_arcs(COMPANIES, seed=9)
+        assert a == b
+        c = scale_free_trading_arcs(COMPANIES, seed=10)
+        assert a != c
+
+    def test_degenerate_inputs(self):
+        from repro.datagen.trading import scale_free_trading_arcs
+
+        assert scale_free_trading_arcs(["only"]) == []
+        assert scale_free_trading_arcs(COMPANIES, arcs_per_company=0) == []

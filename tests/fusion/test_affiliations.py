@@ -1,0 +1,97 @@
+"""Unit tests for the extra affiliation relationships (future work)."""
+
+import pytest
+
+from repro.errors import FusionError, ValidationError
+from repro.fusion.pipeline import fuse
+from repro.mining.detector import detect
+from repro.mining.oracle import suspicious_arc_oracle
+from repro.model.colors import AffiliationKind, InfluenceKind
+from repro.model.homogeneous import (
+    AffiliationGraph,
+    InfluenceGraph,
+    InterdependenceGraph,
+    InvestmentGraph,
+    TradingGraph,
+)
+
+
+def base_sources(companies=("A", "B", "C")):
+    g1 = InterdependenceGraph()
+    g2 = InfluenceGraph()
+    for i, company in enumerate(companies):
+        g2.add_influence(
+            f"p{i}", company, InfluenceKind.CEO_OF, legal_person=True
+        )
+    return g1, g2, InvestmentGraph(), TradingGraph()
+
+
+class TestAffiliationGraph:
+    def test_add_and_validate(self):
+        graph = AffiliationGraph()
+        assert graph.add_affiliation("A", "B", AffiliationKind.GUARANTEE)
+        assert graph.add_affiliation("A", "C", "franchise")
+        graph.validate()
+        assert graph.number_of_arcs == 2
+
+    def test_self_affiliation_rejected(self):
+        with pytest.raises(ValidationError, match="distinct"):
+            AffiliationGraph().add_affiliation("A", "A", "guarantee")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            AffiliationGraph().add_affiliation("A", "B", "friendship")
+
+    def test_parallel_kinds_coexist(self):
+        graph = AffiliationGraph()
+        graph.add_affiliation("A", "B", "guarantee")
+        graph.add_affiliation("A", "B", "licensing")
+        assert graph.number_of_arcs == 2
+
+
+class TestFusionWithAffiliations:
+    def test_guarantor_becomes_common_antecedent(self):
+        g1, g2, gi, g4 = base_sources()
+        affiliations = AffiliationGraph()
+        affiliations.add_affiliation("A", "B", AffiliationKind.GUARANTEE)
+        affiliations.add_affiliation("A", "C", AffiliationKind.GUARANTEE)
+        g4.add_trade("B", "C")
+        tpiin = fuse(g1, g2, gi, g4, affiliations=affiliations).tpiin
+        result = detect(tpiin)
+        assert ("B", "C") in result.suspicious_trading_arcs
+        assert any("A" in g.members for g in result.groups)
+        assert result.suspicious_trading_arcs == suspicious_arc_oracle(tpiin)
+
+    def test_without_affiliations_not_suspicious(self):
+        g1, g2, gi, g4 = base_sources()
+        g4.add_trade("B", "C")
+        tpiin = fuse(g1, g2, gi, g4).tpiin
+        assert detect(tpiin).suspicious_trading_arcs == set()
+
+    def test_affiliation_investment_cycle_contracts(self):
+        # A invests in B; B guarantees A: a mixed-kind directed cycle.
+        g1, g2, gi, g4 = base_sources()
+        gi.add_investment("A", "B")
+        affiliations = AffiliationGraph()
+        affiliations.add_affiliation("B", "A", AffiliationKind.GUARANTEE)
+        g4.add_trade("A", "B")
+        result = fuse(g1, g2, gi, g4, affiliations=affiliations)
+        assert len(result.company_syndicates) == 1
+        tpiin = result.tpiin
+        assert tpiin.intra_scs_trades == [("A", "B")]
+        detection = detect(tpiin)
+        assert ("A", "B") in detection.suspicious_trading_arcs
+
+    def test_unknown_company_rejected(self):
+        g1, g2, gi, g4 = base_sources()
+        affiliations = AffiliationGraph()
+        affiliations.add_affiliation("A", "GHOST", "guarantee")
+        with pytest.raises(FusionError, match="GHOST"):
+            fuse(g1, g2, gi, g4, affiliations=affiliations)
+
+    def test_stage_report_mentions_affiliations(self):
+        g1, g2, gi, g4 = base_sources()
+        affiliations = AffiliationGraph()
+        affiliations.add_affiliation("A", "B", "licensing")
+        result = fuse(g1, g2, gi, g4, affiliations=affiliations)
+        assert "affiliation" in result.stage_report()

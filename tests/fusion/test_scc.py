@@ -1,0 +1,86 @@
+"""Unit tests for strongly-connected-subgraph contraction (GB -> G123)."""
+
+from repro.fusion.scc import contract_strongly_connected
+from repro.graph.dag import is_dag
+from repro.graph.digraph import DiGraph
+from repro.model.colors import VColor
+
+
+def mutual_investment_fixture() -> DiGraph:
+    """p -> a; a <-> b mutual investment; b -> c downstream."""
+    g = DiGraph()
+    g.add_node("p", VColor.PERSON)
+    for c in ("a", "b", "c"):
+        g.add_node(c, VColor.COMPANY)
+    g.add_arc("p", "a", "Influence")
+    g.add_arc("a", "b", "Investment")
+    g.add_arc("b", "a", "Investment")
+    g.add_arc("b", "c", "Investment")
+    return g
+
+
+class TestContraction:
+    def test_produces_dag(self):
+        result = contract_strongly_connected(
+            mutual_investment_fixture(), cycle_color="Investment"
+        )
+        assert is_dag(result.graph)
+
+    def test_syndicate_membership(self):
+        result = contract_strongly_connected(
+            mutual_investment_fixture(), cycle_color="Investment"
+        )
+        assert len(result.syndicates) == 1
+        syndicate = next(iter(result.syndicates.values()))
+        assert syndicate.members == frozenset({"a", "b"})
+        assert syndicate.kind == "company"
+
+    def test_arcs_reattached(self):
+        result = contract_strongly_connected(
+            mutual_investment_fixture(), cycle_color="Investment"
+        )
+        scs_id = next(iter(result.syndicates))
+        assert result.graph.has_arc("p", scs_id)
+        assert result.graph.has_arc(scs_id, "c")
+        assert result.resolve("a") == scs_id
+        assert result.resolve("c") == "c"
+
+    def test_saved_subgraph_preserves_internal_arcs(self):
+        result = contract_strongly_connected(
+            mutual_investment_fixture(), cycle_color="Investment"
+        )
+        scs_id = next(iter(result.syndicates))
+        saved = result.saved_subgraphs[scs_id]
+        assert saved.has_arc("a", "b", "Investment")
+        assert saved.has_arc("b", "a", "Investment")
+        assert saved.number_of_nodes() == 2
+
+    def test_syndicate_node_is_company_colored(self):
+        result = contract_strongly_connected(
+            mutual_investment_fixture(), cycle_color="Investment"
+        )
+        scs_id = next(iter(result.syndicates))
+        assert result.graph.node_color(scs_id) == VColor.COMPANY
+
+    def test_acyclic_graph_untouched(self):
+        g = DiGraph()
+        g.add_arc("a", "b", "Investment")
+        result = contract_strongly_connected(g, cycle_color="Investment")
+        assert result.syndicates == {}
+        assert set(result.graph.arcs()) == set(g.arcs())
+
+    def test_cycle_in_other_color_ignored(self):
+        g = DiGraph()
+        g.add_arc("a", "b", "Investment")
+        g.add_arc("b", "a", "Trading")
+        result = contract_strongly_connected(g, cycle_color="Investment")
+        assert result.syndicates == {}
+
+    def test_nested_cycles_merge(self):
+        g = DiGraph()
+        for u, v in [("a", "b"), ("b", "c"), ("c", "a"), ("c", "d"), ("d", "c")]:
+            g.add_arc(u, v, "Investment")
+        result = contract_strongly_connected(g, cycle_color="Investment")
+        assert len(result.syndicates) == 1
+        syndicate = next(iter(result.syndicates.values()))
+        assert syndicate.members == frozenset({"a", "b", "c", "d"})

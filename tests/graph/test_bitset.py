@@ -1,0 +1,110 @@
+"""Unit tests for the packed root-ancestor index."""
+
+import random
+
+import pytest
+
+from repro.errors import NodeNotFoundError
+from repro.graph.bitset import RootAncestorIndex
+from repro.graph.dag import ancestor_closure
+from repro.graph.digraph import DiGraph
+
+
+def diamond() -> DiGraph:
+    g = DiGraph()
+    for u, v in [("r", "a"), ("r", "b"), ("a", "t"), ("b", "t"), ("s", "b")]:
+        g.add_arc(u, v, "IN")
+    return g
+
+
+def random_dag(seed: int, n: int = 40) -> DiGraph:
+    rng = random.Random(seed)
+    g = DiGraph()
+    for i in range(n):
+        g.add_node(i)
+    for _ in range(2 * n):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u < v:  # index order keeps it acyclic
+            g.add_arc(u, v, "IN")
+    return g
+
+
+class TestBasics:
+    def test_roots_detected(self):
+        index = RootAncestorIndex(diamond(), "IN")
+        assert set(index.roots) == {"r", "s"}
+
+    def test_root_ancestors(self):
+        index = RootAncestorIndex(diamond(), "IN")
+        assert index.root_ancestors("t") == {"r", "s"}
+        assert index.root_ancestors("a") == {"r"}
+        assert index.root_ancestors("r") == {"r"}  # a root is its own ancestor
+
+    def test_shares_root(self):
+        index = RootAncestorIndex(diamond(), "IN")
+        assert index.shares_root("a", "b")  # both under r
+        assert index.shares_root("t", "t")
+        assert index.common_roots("a", "b") == {"r"}
+
+    def test_disjoint_components(self):
+        g = diamond()
+        g.add_arc("p", "q", "IN")
+        index = RootAncestorIndex(g, "IN")
+        assert not index.shares_root("q", "t")
+        assert index.common_roots("q", "t") == set()
+
+    def test_missing_node(self):
+        index = RootAncestorIndex(diamond(), "IN")
+        with pytest.raises(NodeNotFoundError):
+            index.row("zzz")
+
+    def test_graph_without_arcs(self):
+        g = DiGraph()
+        g.add_node("x")
+        g.add_node("y")
+        index = RootAncestorIndex(g)
+        assert index.shares_root("x", "x")
+        assert not index.shares_root("x", "y")
+
+
+class TestBulk:
+    def test_bulk_matches_scalar(self):
+        g = random_dag(3)
+        index = RootAncestorIndex(g, "IN")
+        nodes = list(g.nodes())
+        rng = random.Random(4)
+        tails = [rng.choice(nodes) for _ in range(200)]
+        heads = [rng.choice(nodes) for _ in range(200)]
+        bulk = index.shares_root_bulk(tails, heads, chunk=17)
+        for t, h, flag in zip(tails, heads, bulk):
+            assert flag == index.shares_root(t, h)
+
+    def test_bulk_length_mismatch(self):
+        index = RootAncestorIndex(diamond(), "IN")
+        with pytest.raises(ValueError):
+            index.shares_root_bulk(["a"], ["a", "b"])
+
+
+class TestAgainstClosure:
+    def test_shares_root_iff_closures_intersect(self):
+        for seed in range(6):
+            g = random_dag(seed)
+            index = RootAncestorIndex(g, "IN")
+            closure = ancestor_closure(g, "IN")
+            nodes = list(g.nodes())
+            rng = random.Random(seed + 100)
+            for _ in range(150):
+                a, b = rng.choice(nodes), rng.choice(nodes)
+                expected = bool(closure[a] & closure[b])
+                assert index.shares_root(a, b) == expected
+
+
+class TestCyclicInput:
+    def test_cycle_rejected(self):
+        from repro.errors import NotADagError
+
+        g = DiGraph()
+        g.add_arc("a", "b", "IN")
+        g.add_arc("b", "a", "IN")
+        with pytest.raises(NotADagError):
+            RootAncestorIndex(g, "IN")

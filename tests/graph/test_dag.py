@@ -1,0 +1,133 @@
+"""Unit tests for DAG utilities: topo order, roots, path enumeration."""
+
+import pytest
+
+from repro.errors import NodeNotFoundError, NotADagError
+from repro.graph.dag import (
+    ancestor_closure,
+    count_paths_from_roots,
+    enumerate_paths_from,
+    is_dag,
+    leaves,
+    path_arcs,
+    roots,
+    topological_order,
+)
+from repro.graph.digraph import DiGraph
+
+
+def diamond() -> DiGraph:
+    g = DiGraph()
+    for u, v in [("r", "a"), ("r", "b"), ("a", "t"), ("b", "t")]:
+        g.add_arc(u, v, "IN")
+    return g
+
+
+class TestTopologicalOrder:
+    def test_valid_order(self):
+        g = diamond()
+        order = topological_order(g)
+        pos = {n: i for i, n in enumerate(order)}
+        for tail, head, _c in g.arcs():
+            assert pos[tail] < pos[head]
+
+    def test_cycle_raises(self):
+        g = DiGraph()
+        g.add_arc("a", "b", "IN")
+        g.add_arc("b", "a", "IN")
+        with pytest.raises(NotADagError):
+            topological_order(g)
+
+    def test_color_restriction_ignores_cycle_in_other_color(self):
+        g = DiGraph()
+        g.add_arc("a", "b", "IN")
+        g.add_arc("b", "a", "TR")
+        assert is_dag(g, "IN")
+        assert not is_dag(g)
+
+    def test_isolated_nodes_included(self):
+        g = diamond()
+        g.add_node("solo")
+        assert "solo" in topological_order(g)
+
+
+class TestRootsLeaves:
+    def test_roots_and_leaves(self):
+        g = diamond()
+        assert roots(g) == ["r"]
+        assert leaves(g) == ["t"]
+
+    def test_color_restricted(self):
+        g = diamond()
+        g.add_arc("x", "r", "TR")
+        assert set(roots(g, "IN")) == {"r", "x"}
+        assert set(roots(g)) == {"x"}
+
+
+class TestPathEnumeration:
+    def test_diamond_paths(self):
+        g = diamond()
+        paths = set(enumerate_paths_from(g, "r"))
+        assert paths == {
+            ("r",),
+            ("r", "a"),
+            ("r", "a", "t"),
+            ("r", "b"),
+            ("r", "b", "t"),
+        }
+
+    def test_max_paths_bound(self):
+        g = diamond()
+        assert len(list(enumerate_paths_from(g, "r", max_paths=3))) == 3
+
+    def test_missing_start(self):
+        with pytest.raises(NodeNotFoundError):
+            list(enumerate_paths_from(diamond(), "zzz"))
+
+    def test_cyclic_graph_stays_simple(self):
+        g = DiGraph()
+        g.add_arc("a", "b", "IN")
+        g.add_arc("b", "a", "IN")
+        assert set(enumerate_paths_from(g, "a")) == {("a",), ("a", "b")}
+
+    def test_path_arcs(self):
+        assert path_arcs(("a", "b", "c")) == [("a", "b"), ("b", "c")]
+        assert path_arcs(("a",)) == []
+
+
+class TestPathCounts:
+    def test_counts_match_enumeration(self):
+        g = diamond()
+        g.add_arc("t", "z", "IN")
+        counts = count_paths_from_roots(g)
+        for node in g.nodes():
+            explicit = sum(
+                1
+                for root in roots(g)
+                for path in enumerate_paths_from(g, root)
+                if path[-1] == node
+            )
+            assert counts[node] == explicit
+
+    def test_multiple_roots(self):
+        g = DiGraph()
+        g.add_arc("r1", "t", "IN")
+        g.add_arc("r2", "t", "IN")
+        counts = count_paths_from_roots(g)
+        assert counts["t"] == 2
+        assert counts["r1"] == counts["r2"] == 1
+
+
+class TestAncestorClosure:
+    def test_closure_includes_self(self):
+        g = diamond()
+        closure = ancestor_closure(g)
+        assert closure["r"] == {"r"}
+        assert closure["t"] == {"r", "a", "b", "t"}
+
+    def test_disjoint_components(self):
+        g = diamond()
+        g.add_arc("p", "q", "IN")
+        closure = ancestor_closure(g)
+        assert closure["q"] == {"p", "q"}
+        assert not (closure["q"] & closure["t"])

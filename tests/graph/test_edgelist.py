@@ -1,0 +1,109 @@
+"""Unit tests for the paper's r x 3 edge-list format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SerializationError
+from repro.graph.digraph import DiGraph
+from repro.graph.edgelist import COLOR_INFLUENCE, COLOR_TRADING, EdgeList
+
+
+def sample_graph() -> DiGraph:
+    g = DiGraph()
+    g.add_node("P", color="Person")
+    g.add_node("A", color="Company")
+    g.add_node("B", color="Company")
+    g.add_node("iso", color="Company")
+    g.add_arc("P", "A", "IN")
+    g.add_arc("A", "B", "TR")
+    return g
+
+
+class TestConstruction:
+    def test_from_digraph_layout(self):
+        el = EdgeList.from_digraph(sample_graph(), influence_color="IN", trading_color="TR")
+        assert el.number_of_arcs == 2
+        assert el.first_trading_row == 1
+        assert el.array[0, 2] == COLOR_INFLUENCE
+        assert el.array[1, 2] == COLOR_TRADING
+
+    def test_unknown_color_rejected(self):
+        g = sample_graph()
+        g.add_arc("A", "B", "WEIRD")
+        with pytest.raises(SerializationError, match="neither"):
+            EdgeList.from_digraph(g, influence_color="IN", trading_color="TR")
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(SerializationError, match="shape"):
+            EdgeList(np.zeros((3, 2), dtype=np.int64), ["a", "b"])
+
+    def test_out_of_range_index_rejected(self):
+        array = np.array([[0, 5, 1]], dtype=np.int64)
+        with pytest.raises(SerializationError, match="out-of-range"):
+            EdgeList(array, ["a", "b"])
+
+    def test_bad_color_code_rejected(self):
+        array = np.array([[0, 1, 7]], dtype=np.int64)
+        with pytest.raises(SerializationError, match="color"):
+            EdgeList(array, ["a", "b"])
+
+    def test_duplicate_node_ids_rejected(self):
+        array = np.empty((0, 3), dtype=np.int64)
+        with pytest.raises(SerializationError, match="duplicate"):
+            EdgeList(array, ["a", "a"])
+
+
+class TestLayout:
+    def test_layout_violation_detected(self):
+        array = np.array([[0, 1, 0], [1, 2, 1]], dtype=np.int64)
+        el = EdgeList(array, ["a", "b", "c"])
+        with pytest.raises(SerializationError, match="layout"):
+            el.first_trading_row
+
+    def test_no_trading_rows(self):
+        array = np.array([[0, 1, 1]], dtype=np.int64)
+        el = EdgeList(array, ["a", "b"])
+        assert el.first_trading_row == 1
+        assert el.trading_rows().shape == (0, 3)
+
+    def test_blocks(self):
+        el = EdgeList.from_digraph(sample_graph(), influence_color="IN", trading_color="TR")
+        assert el.antecedent_rows().shape == (1, 3)
+        assert el.trading_rows().shape == (1, 3)
+
+
+class TestRoundTrip:
+    def test_digraph_roundtrip(self):
+        g = sample_graph()
+        el = EdgeList.from_digraph(g, influence_color="IN", trading_color="TR")
+        back = el.to_digraph(influence_color="IN", trading_color="TR")
+        assert set(back.arcs()) == set(g.arcs())
+        assert set(back.nodes()) == set(g.nodes())  # isolated node survives
+        assert back.node_color("P") == "Person"
+
+    def test_index_lookup(self):
+        el = EdgeList.from_digraph(sample_graph(), influence_color="IN", trading_color="TR")
+        for node in el.nodes:
+            assert el.node_at(el.index_of(node)) == node
+
+    def test_empty_graph(self):
+        el = EdgeList.from_digraph(DiGraph(), influence_color="IN", trading_color="TR")
+        assert len(el) == 0
+        assert el.first_trading_row == 0
+
+
+class TestToDigraphOptions:
+    def test_include_extra_nodes(self):
+        g = sample_graph()
+        el = EdgeList.from_digraph(g, influence_color="IN", trading_color="TR")
+        back = el.to_digraph(
+            influence_color="IN", trading_color="TR", include_nodes=["ghost"]
+        )
+        assert back.has_node("ghost")
+
+    def test_custom_color_labels(self):
+        g = sample_graph()
+        el = EdgeList.from_digraph(g, influence_color="IN", trading_color="TR")
+        back = el.to_digraph(influence_color="blue", trading_color="black")
+        assert back.has_arc("P", "A", "blue")
+        assert back.has_arc("A", "B", "black")

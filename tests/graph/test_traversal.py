@@ -1,0 +1,150 @@
+"""Unit tests for traversal: DFS/BFS, weak components, reachability."""
+
+import pytest
+
+from repro.errors import NodeNotFoundError
+from repro.graph.digraph import DiGraph
+from repro.graph.traversal import (
+    ancestors,
+    bfs_order,
+    descendants,
+    dfs_preorder,
+    find_subgraphs,
+    has_path,
+    restricted_reachable,
+    weakly_connected_components,
+)
+
+
+def chain(n: int, color: str = "IN") -> DiGraph:
+    g = DiGraph()
+    for i in range(n - 1):
+        g.add_arc(i, i + 1, color)
+    return g
+
+
+def two_components() -> DiGraph:
+    g = DiGraph()
+    g.add_arc("a", "b", "IN")
+    g.add_arc("c", "b", "IN")
+    g.add_arc("x", "y", "IN")
+    g.add_node("lonely")
+    return g
+
+
+class TestOrders:
+    def test_dfs_preorder_chain(self):
+        g = chain(4)
+        assert list(dfs_preorder(g, 0)) == [0, 1, 2, 3]
+
+    def test_dfs_respects_color(self):
+        g = chain(3, "IN")
+        g.add_arc(0, 99, "TR")
+        assert 99 not in list(dfs_preorder(g, 0, "IN"))
+        assert 99 in list(dfs_preorder(g, 0))
+
+    def test_dfs_first_successor_first(self):
+        g = DiGraph()
+        g.add_arc("r", "a", "IN")
+        g.add_arc("r", "b", "IN")
+        g.add_arc("a", "leaf", "IN")
+        assert list(dfs_preorder(g, "r")) == ["r", "a", "leaf", "b"]
+
+    def test_bfs_order(self):
+        g = DiGraph()
+        g.add_arc("r", "a", "IN")
+        g.add_arc("r", "b", "IN")
+        g.add_arc("a", "c", "IN")
+        assert list(bfs_order(g, "r")) == ["r", "a", "b", "c"]
+
+    def test_missing_start(self):
+        g = chain(2)
+        with pytest.raises(NodeNotFoundError):
+            list(dfs_preorder(g, 99))
+        with pytest.raises(NodeNotFoundError):
+            list(bfs_order(g, 99))
+
+    def test_cycle_terminates(self):
+        g = DiGraph()
+        g.add_arc("a", "b", "IN")
+        g.add_arc("b", "a", "IN")
+        assert set(dfs_preorder(g, "a")) == {"a", "b"}
+
+
+class TestComponents:
+    def test_weak_components(self):
+        g = two_components()
+        comps = {frozenset(c) for c in weakly_connected_components(g)}
+        assert comps == {
+            frozenset({"a", "b", "c"}),
+            frozenset({"x", "y"}),
+            frozenset({"lonely"}),
+        }
+
+    def test_exclude_isolated(self):
+        g = two_components()
+        comps = weakly_connected_components(g, include_isolated=False)
+        assert all(len(c) > 1 for c in comps)
+
+    def test_color_restricted_components(self):
+        g = DiGraph()
+        g.add_arc("a", "b", "IN")
+        g.add_arc("b", "c", "TR")  # TR must not glue for IN components
+        comps = {frozenset(c) for c in weakly_connected_components(g, "IN")}
+        assert frozenset({"a", "b"}) in comps
+        assert frozenset({"c"}) in comps
+
+    def test_find_subgraphs_induced(self):
+        g = two_components()
+        subs = find_subgraphs(g)
+        assert len(subs) == 3
+        by_size = sorted(subs, key=lambda s: -s.number_of_nodes())
+        assert by_size[0].has_arc("a", "b", "IN")
+        assert by_size[0].has_arc("c", "b", "IN")
+
+    def test_matches_networkx(self):
+        import networkx as nx
+        import random
+
+        rng = random.Random(5)
+        g = DiGraph()
+        ng = nx.DiGraph()
+        for i in range(60):
+            g.add_node(i)
+            ng.add_node(i)
+        for _ in range(70):
+            u, v = rng.randrange(60), rng.randrange(60)
+            if u != v:
+                g.add_arc(u, v, "IN")
+                ng.add_edge(u, v)
+        ours = {frozenset(c) for c in weakly_connected_components(g)}
+        theirs = {frozenset(c) for c in nx.weakly_connected_components(ng)}
+        assert ours == theirs
+
+
+class TestReachability:
+    def test_descendants_ancestors(self):
+        g = chain(4)
+        assert descendants(g, 0) == {1, 2, 3}
+        assert ancestors(g, 3) == {0, 1, 2}
+        assert descendants(g, 3) == set()
+        assert ancestors(g, 0) == set()
+
+    def test_has_path(self):
+        g = chain(3)
+        assert has_path(g, 0, 2)
+        assert not has_path(g, 2, 0)
+        assert has_path(g, 1, 1)
+
+    def test_has_path_missing_nodes(self):
+        g = chain(2)
+        with pytest.raises(NodeNotFoundError):
+            has_path(g, 0, 42)
+        with pytest.raises(NodeNotFoundError):
+            has_path(g, 42, 0)
+
+    def test_restricted_reachable(self):
+        g = chain(5)
+        # Only allowed through nodes {1, 2}: node 4 is out of reach.
+        assert restricted_reachable(g, 0, [1, 2, 3]) == {1, 2, 3}
+        assert restricted_reachable(g, 0, [2]) == set()

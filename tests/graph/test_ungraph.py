@@ -1,0 +1,86 @@
+"""Unit tests for the undirected interdependence graph core."""
+
+import pickle
+
+import pytest
+
+from repro.errors import NodeNotFoundError
+from repro.graph.digraph import UnGraph
+
+
+def build_sample() -> UnGraph:
+    g = UnGraph()
+    g.add_edge("a", "b", "kin")
+    g.add_edge("b", "c", "lock")
+    g.add_node("iso", color="Person")
+    return g
+
+
+class TestBasics:
+    def test_add_edge_creates_nodes(self):
+        g = UnGraph()
+        assert g.add_edge("a", "b", "kin") is True
+        assert "a" in g and "b" in g
+        assert len(g) == 2
+
+    def test_duplicate_edge_noop(self):
+        g = UnGraph()
+        g.add_edge("a", "b", "kin")
+        assert g.add_edge("b", "a", "kin") is False
+        assert g.number_of_edges() == 1
+
+    def test_self_loop_rejected(self):
+        g = UnGraph()
+        with pytest.raises(ValueError, match="self-loop"):
+            g.add_edge("a", "a", "kin")
+
+    def test_none_color_rejected(self):
+        g = UnGraph()
+        with pytest.raises(ValueError):
+            g.add_edge("a", "b", None)
+
+    def test_symmetry(self):
+        g = build_sample()
+        assert g.has_edge("a", "b")
+        assert g.has_edge("b", "a")
+        assert g.edge_colors("b", "a") == frozenset({"kin"})
+
+    def test_edges_emitted_once(self):
+        g = build_sample()
+        assert len(list(g.edges())) == 2
+        assert g.number_of_edges("kin") == 1
+
+    def test_neighbors_and_degree(self):
+        g = build_sample()
+        assert set(g.neighbors("b")) == {"a", "c"}
+        assert g.degree("b") == 2
+        with pytest.raises(NodeNotFoundError):
+            g.degree("zzz")
+
+    def test_recolor_conflict(self):
+        g = UnGraph()
+        g.add_node("x", color="Person")
+        with pytest.raises(ValueError):
+            g.add_node("x", color="Company")
+
+    def test_color_refine(self):
+        g = UnGraph()
+        g.add_node("x")
+        g.add_node("x", color="Person")
+        assert g.node_color("x") == "Person"
+
+
+class TestComponents:
+    def test_connected_components(self):
+        g = build_sample()
+        components = {frozenset(c) for c in g.connected_components()}
+        assert components == {frozenset({"a", "b", "c"}), frozenset({"iso"})}
+
+    def test_empty_graph(self):
+        assert UnGraph().connected_components() == []
+
+    def test_pickle_roundtrip(self):
+        g = build_sample()
+        clone = pickle.loads(pickle.dumps(g))
+        assert set(clone.edges()) == set(g.edges())
+        assert clone.node_color("iso") == "Person"

@@ -1,0 +1,120 @@
+"""Integration: the paper's figures reproduced end to end.
+
+These tests pin the full Fig. 7 -> Fig. 8 -> Fig. 9 -> Fig. 10 chain:
+un-contracted source networks, fusion, patterns tree, component pattern
+base and the three suspicious groups — plus the Fig. 6 example and the
+three case studies of Section 3.1.
+"""
+
+from repro.datagen.cases import (
+    FIG10_EXPECTED_PATTERNS,
+    fig7_source_graphs,
+)
+from repro.fusion.pipeline import fuse
+from repro.ite.adjudication import adjudicate_transaction
+from repro.ite.alp import transactional_net_margin
+from repro.ite.transactions import IndustryProfile, Transaction
+from repro.mining.detector import detect
+from repro.mining.patterns import build_patterns_tree
+
+
+class TestFig7ToFig10Chain:
+    def test_full_chain(self, fig8):
+        src = fig7_source_graphs()
+        fused = fuse(
+            src.interdependence, src.influence, src.investment, src.trading
+        )
+        tpiin = fused.tpiin
+
+        # Fig. 8: the contracted TPIIN (isomorphic modulo syndicate ids).
+        l1 = tpiin.node_map["L6"]
+        b2 = tpiin.node_map["B5"]
+        rename = {l1: "L1", b2: "B2"}
+        arcs = {
+            (rename.get(t, t), rename.get(h, h), c)
+            for t, h, c in tpiin.graph.arcs()
+        }
+        assert arcs == set(fig8.graph.arcs())
+
+        # Fig. 9/10: the patterns tree yields the paper's 15 trails.
+        tree = build_patterns_tree(tpiin.graph)
+        rendered = {
+            trail.render().replace(l1, "L1").replace(b2, "B2")
+            for trail in tree.trails
+        }
+        assert rendered == set(FIG10_EXPECTED_PATTERNS)
+
+        # The three groups, with their trading arcs.
+        result = detect(tpiin)
+        assert result.suspicious_trading_arcs == {
+            ("C3", "C5"),
+            ("C5", "C6"),
+            ("C7", "C8"),
+        }
+
+    def test_patterns_tree_renders_fig9_shape(self, fig8):
+        tree = build_patterns_tree(fig8.graph)
+        text = tree.render_tree()
+        # The L1 branch of Fig. 9 contains the C1 -> C3 => C5 descent.
+        assert "L1" in text
+        lines = text.splitlines()
+        l1_index = lines.index("L1")
+        subtree = "\n".join(lines[l1_index : l1_index + 8])
+        assert "C1" in subtree and "C3" in subtree
+
+
+class TestCaseStudies:
+    def test_case1_proof_chain_and_adjustment(self, case1):
+        """Case 1: kin legal persons; TNMM lifts C3 out of its losses."""
+        result = detect(case1)
+        group = result.groups[0]
+        assert group.trading_trail == ("L'", "C1", "C3", "C2")
+        assert group.support_trail == ("L'", "C2")
+        # ITE-phase: C3's margin is negative against a healthy industry.
+        profile = IndustryProfile(
+            industry="biochem", net_margin_range=(0.04, 0.12)
+        )
+        judgment = transactional_net_margin(
+            100.0e6, 105.0e6, profile, company_id="C3"
+        )
+        assert judgment.violated
+        assert judgment.adjustment > 0  # the paper adjusted 25.52M RMB
+
+    def test_case2_proof_chain_and_cup(self, case2):
+        """Case 2: one investor behind an under-priced cross-border sale."""
+        result = detect(case2)
+        assert result.groups[0].trading_arc == ("C5", "C6")
+        profile = IndustryProfile(
+            industry="meters", unit_cost=20.0, standard_markup=0.5
+        )
+        meters = Transaction(
+            transaction_id="case2",
+            seller="C5",
+            buyer="C6",
+            industry="meters",
+            quantity=5000.0,
+            unit_price=20.0,
+            unit_cost=20.0,
+        )
+        verdict = adjudicate_transaction(meters, {"meters": profile, "general": profile})
+        assert verdict.flagged
+        assert "CUP" in verdict.methods_violated
+
+    def test_case3_interlocking_directors(self, case3):
+        result = detect(case3)
+        group = result.groups[0]
+        assert group.antecedent == "B"  # the acting-together syndicate
+        assert group.trading_arc == ("C7", "C8")
+        # C9 (the joint venture) is affiliated but not in the group.
+        assert "C9" not in group.members
+
+
+class TestFig6:
+    def test_suspicious_relationship(self, fig6):
+        result = detect(fig6)
+        assert result.suspicious_trading_arcs == {("C2", "C3")}
+        group = result.groups[0]
+        # The paper's trails: pi0 = P1 -> C1 -> C2 -TR-> C3, pi2 = P1 -> C3.
+        assert group.trading_trail == ("P1", "C1", "C2", "C3")
+        assert group.support_trail == ("P1", "C3")
+        assert group.is_simple

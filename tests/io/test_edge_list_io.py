@@ -1,0 +1,95 @@
+"""Unit tests for CSV persistence of edge lists and TPIINs."""
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.io.edge_list_io import (
+    read_edge_list_csv,
+    read_tpiin_csv,
+    write_edge_list_csv,
+    write_tpiin_csv,
+)
+
+
+class TestEdgeListCsv:
+    def test_roundtrip(self, fig8, tmp_path):
+        path = tmp_path / "arcs.csv"
+        write_edge_list_csv(fig8.to_edge_list(), path)
+        loaded = read_edge_list_csv(path)
+        original = fig8.to_edge_list()
+        assert loaded.number_of_arcs == original.number_of_arcs
+        assert loaded.first_trading_row == original.first_trading_row
+
+    def test_header_enforced(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x,y,z\nA,B,1\n")
+        with pytest.raises(SerializationError, match="header"):
+            read_edge_list_csv(path)
+
+    def test_column_count_enforced(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("start,end,color\nA,B\n")
+        with pytest.raises(SerializationError, match="3 columns"):
+            read_edge_list_csv(path)
+
+    def test_color_must_be_int(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("start,end,color\nA,B,blue\n")
+        with pytest.raises(SerializationError, match="integer"):
+            read_edge_list_csv(path)
+
+    def test_unknown_color_code(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("start,end,color\nA,B,9\n")
+        with pytest.raises(SerializationError, match="unknown color"):
+            read_edge_list_csv(path)
+
+
+class TestTpiinCsv:
+    def test_roundtrip(self, fig8, tmp_path):
+        arc_path = tmp_path / "arcs.csv"
+        node_path = tmp_path / "nodes.csv"
+        write_tpiin_csv(fig8, arc_path, node_path)
+        loaded = read_tpiin_csv(arc_path, node_path)
+        loaded.validate()
+        assert set(loaded.graph.arcs()) == set(fig8.graph.arcs())
+        assert set(loaded.graph.nodes()) == set(fig8.graph.nodes())
+        for node in fig8.graph.nodes():
+            assert loaded.graph.node_color(node) == fig8.graph.node_color(node)
+
+    def test_isolated_node_survives(self, fig8, tmp_path):
+        from repro.model.colors import VColor
+
+        fig8.graph.add_node("hermit", VColor.COMPANY)
+        arc_path = tmp_path / "arcs.csv"
+        node_path = tmp_path / "nodes.csv"
+        write_tpiin_csv(fig8, arc_path, node_path)
+        loaded = read_tpiin_csv(arc_path, node_path)
+        assert loaded.graph.has_node("hermit")
+
+    def test_node_header_enforced(self, fig8, tmp_path):
+        arc_path = tmp_path / "arcs.csv"
+        node_path = tmp_path / "nodes.csv"
+        write_tpiin_csv(fig8, arc_path, node_path)
+        node_path.write_text("id,kind\nA,Person\n")
+        with pytest.raises(SerializationError, match="header"):
+            read_tpiin_csv(arc_path, node_path)
+
+    def test_unknown_node_color(self, fig8, tmp_path):
+        arc_path = tmp_path / "arcs.csv"
+        node_path = tmp_path / "nodes.csv"
+        write_tpiin_csv(fig8, arc_path, node_path)
+        node_path.write_text("node,color\nL1,Alien\n")
+        with pytest.raises(SerializationError, match="color"):
+            read_tpiin_csv(arc_path, node_path)
+
+    def test_detection_equal_after_roundtrip(self, fig8, tmp_path):
+        from repro.mining.detector import detect
+
+        arc_path = tmp_path / "arcs.csv"
+        node_path = tmp_path / "nodes.csv"
+        write_tpiin_csv(fig8, arc_path, node_path)
+        loaded = read_tpiin_csv(arc_path, node_path)
+        assert {g.key() for g in detect(loaded).groups} == {
+            g.key() for g in detect(fig8).groups
+        }

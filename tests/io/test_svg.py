@@ -1,0 +1,64 @@
+"""Unit tests for the SVG renderer."""
+
+import xml.etree.ElementTree as ET
+
+from repro.io.svg import tpiin_to_svg, write_tpiin_svg
+from repro.mining.detector import detect
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+class TestSvg:
+    def test_well_formed_xml(self, fig8):
+        svg = tpiin_to_svg(fig8)
+        root = ET.fromstring(svg)
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_node_shapes_follow_conventions(self, fig8):
+        root = ET.fromstring(tpiin_to_svg(fig8))
+        rects = root.findall(f"{SVG_NS}rect")
+        ellipses = root.findall(f"{SVG_NS}ellipse")
+        # 8 companies as boxes (+1 background rect), 7 persons as ellipses.
+        assert len([r for r in rects if r.get("rx")]) == 8
+        assert len(ellipses) == 7
+
+    def test_arc_colors(self, fig8):
+        svg = tpiin_to_svg(fig8)
+        assert 'stroke="blue"' in svg  # influence
+        assert 'stroke="black"' in svg  # trading
+
+    def test_highlighting(self, fig8):
+        result = detect(fig8)
+        svg = tpiin_to_svg(fig8, highlight_arcs=result.suspicious_trading_arcs)
+        assert svg.count('stroke="red"') == 3
+
+    def test_title_escaped(self, fig8):
+        svg = tpiin_to_svg(fig8, title="A <&> B")
+        assert "A &lt;&amp;&gt; B" in svg
+        ET.fromstring(svg)
+
+    def test_write(self, fig8, tmp_path):
+        path = write_tpiin_svg(fig8, tmp_path / "net.svg", title="Fig 8")
+        assert path.stat().st_size > 500
+
+    def test_long_labels_truncated(self):
+        from repro.fusion.tpiin import TPIIN
+
+        tpiin = TPIIN.build(
+            persons=["syn:AVeryLongPersonName+Another"],
+            companies=["C"],
+            influence=[("syn:AVeryLongPersonName+Another", "C")],
+        )
+        svg = tpiin_to_svg(tpiin)
+        assert "…" in svg
+        ET.fromstring(svg)
+
+    def test_layers_follow_influence_depth(self, fig6):
+        # P1 sits above C1, which sits above C2 (its investee).
+        root = ET.fromstring(tpiin_to_svg(fig6))
+        texts = {
+            t.text: float(t.get("y"))
+            for t in root.findall(f"{SVG_NS}text")
+            if t.text in {"P1", "C1", "C2"}
+        }
+        assert texts["P1"] < texts["C1"] < texts["C2"]

@@ -1,0 +1,77 @@
+"""Unit tests for combined transaction/company adjudication."""
+
+import pytest
+
+from repro.ite.adjudication import (
+    ENTERPRISE_INCOME_TAX_RATE,
+    adjudicate_company,
+    adjudicate_transaction,
+)
+from repro.ite.transactions import IndustryProfile, Transaction
+
+PROFILES = {
+    "general": IndustryProfile(industry="general", unit_cost=100.0, standard_markup=0.12),
+    "widgets": IndustryProfile(industry="widgets", unit_cost=50.0, standard_markup=0.20),
+}
+
+
+def tx(price: float, *, industry: str = "widgets", resale=None, tid="T1"):
+    return Transaction(
+        transaction_id=tid,
+        seller="s",
+        buyer="b",
+        industry=industry,
+        quantity=10.0,
+        unit_price=price,
+        unit_cost=50.0,
+        resale_unit_price=resale,
+    )
+
+
+class TestTransactionVerdicts:
+    def test_underpriced_flagged_by_multiple_methods(self):
+        verdict = adjudicate_transaction(tx(40.0, resale=75.0), PROFILES)
+        assert verdict.flagged
+        assert set(verdict.methods_violated) >= {"CUP", "cost-plus"}
+        assert verdict.adjustment > 0
+        assert verdict.recovered_tax == pytest.approx(
+            verdict.adjustment * ENTERPRISE_INCOME_TAX_RATE
+        )
+
+    def test_adjustment_is_max_over_methods(self):
+        verdict = adjudicate_transaction(tx(40.0, resale=75.0), PROFILES)
+        assert verdict.adjustment == max(j.adjustment for j in verdict.judgments)
+
+    def test_fair_transaction_clears(self):
+        verdict = adjudicate_transaction(tx(60.0, resale=72.0), PROFILES)
+        assert not verdict.flagged
+        assert verdict.adjustment == 0.0
+        assert verdict.methods_violated == ()
+
+    def test_resale_method_included_only_with_data(self):
+        with_resale = adjudicate_transaction(tx(60.0, resale=72.0), PROFILES)
+        without = adjudicate_transaction(tx(60.0), PROFILES)
+        assert len(with_resale.judgments) == 3
+        assert len(without.judgments) == 2
+
+    def test_unknown_industry_falls_back_to_general(self):
+        verdict = adjudicate_transaction(tx(60.0, industry="quantum"), PROFILES)
+        assert verdict.judgments  # judged against the general profile
+
+
+class TestCompanyVerdicts:
+    def test_loss_making_company_flagged(self):
+        sales = [tx(40.0, tid=f"T{i}") for i in range(5)]
+        verdict = adjudicate_company("s", sales, PROFILES)
+        assert verdict.flagged
+        assert verdict.recovered_tax > 0
+        assert verdict.judgment.method == "TNMM"
+
+    def test_profitable_company_clears(self):
+        sales = [tx(60.0, tid=f"T{i}") for i in range(5)]
+        verdict = adjudicate_company("s", sales, PROFILES)
+        assert not verdict.flagged
+
+    def test_empty_book(self):
+        verdict = adjudicate_company("s", [], PROFILES)
+        assert not verdict.flagged

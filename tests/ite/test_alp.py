@@ -1,0 +1,190 @@
+"""Unit tests for the arm's-length-principle judgment methods."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.ite.alp import (
+    comparable_uncontrolled_price,
+    cost_plus,
+    resale_price,
+    transactional_net_margin,
+)
+from repro.ite.transactions import IndustryProfile, Transaction
+
+PROFILE = IndustryProfile(
+    industry="meters",
+    unit_cost=20.0,
+    standard_markup=0.50,  # fair price 30, like Case 2's $30 domestic price
+    markup_tolerance=0.05,
+    net_margin_range=(0.05, 0.13),
+    resale_margin=0.25,
+)
+
+
+def tx(price: float, *, quantity: float = 5000.0, cost: float = 20.0, resale=None):
+    return Transaction(
+        transaction_id="T",
+        seller="C5",
+        buyer="C6",
+        industry="meters",
+        quantity=quantity,
+        unit_price=price,
+        unit_cost=cost,
+        resale_unit_price=resale,
+    )
+
+
+class TestCUP:
+    def test_case2_underpricing_flagged(self):
+        # Case 2: 5,000 smart meters at $20 against a $30 comparable.
+        judgment = comparable_uncontrolled_price(tx(20.0), PROFILE)
+        assert judgment.violated
+        assert judgment.adjustment == pytest.approx(5000 * 10.0)
+        assert "below" in judgment.rationale
+
+    def test_fair_price_passes(self):
+        judgment = comparable_uncontrolled_price(tx(30.0), PROFILE)
+        assert not judgment.violated
+        assert judgment.adjustment == 0.0
+
+    def test_tolerance_boundary(self):
+        # 10% tolerance: 27.0 exactly at the edge passes.
+        assert not comparable_uncontrolled_price(tx(27.0), PROFILE).violated
+        assert comparable_uncontrolled_price(tx(26.5), PROFILE).violated
+
+    def test_bad_profile_rejected(self):
+        broken = IndustryProfile(industry="x", unit_cost=0.0, standard_markup=0.0)
+        with pytest.raises(EvaluationError):
+            comparable_uncontrolled_price(tx(10.0), broken)
+
+
+class TestCostPlus:
+    def test_depressed_markup_flagged(self):
+        judgment = cost_plus(tx(22.0), PROFILE)  # markup 10% vs standard 50%
+        assert judgment.violated
+        assert judgment.adjustment == pytest.approx(5000 * 8.0)
+
+    def test_within_tolerance_passes(self):
+        judgment = cost_plus(tx(29.5), PROFILE)  # markup 47.5% >= 45%
+        assert not judgment.violated
+
+    def test_case3_shape(self):
+        # Case 3: 90M revenue on 100M of cost+expense against a 9% rate.
+        profile = IndustryProfile(
+            industry="bmx", unit_cost=100.0, standard_markup=0.09, markup_tolerance=0.0
+        )
+        transaction = Transaction(
+            transaction_id="T",
+            seller="C7",
+            buyer="C8",
+            industry="bmx",
+            quantity=1_000_000.0,
+            unit_price=90.0,
+            unit_cost=100.0,
+        )
+        judgment = cost_plus(transaction, profile)
+        assert judgment.violated
+        # Fair revenue 109M against 90M booked: a 19M taxable adjustment,
+        # the same order as the paper's 19.89M RMB reassessment.
+        assert judgment.adjustment == pytest.approx(19_000_000.0)
+
+
+class TestResalePrice:
+    def test_requires_resale_data(self):
+        with pytest.raises(EvaluationError, match="resale"):
+            resale_price(tx(20.0), PROFILE)
+
+    def test_underpriced_against_resale(self):
+        # Buyer resells at 37.5 -> implied arm's-length price 30.
+        judgment = resale_price(tx(20.0, resale=37.5), PROFILE)
+        assert judgment.violated
+        assert judgment.adjustment == pytest.approx(5000 * 10.0)
+
+    def test_consistent_price_passes(self):
+        judgment = resale_price(tx(29.0, resale=37.5), PROFILE)
+        assert not judgment.violated
+
+
+class TestTNMM:
+    def test_case1_loss_maker_flagged(self):
+        # Case 1's C3: persistent losses against a profitable industry.
+        judgment = transactional_net_margin(100.0e6, 104.0e6, PROFILE, company_id="C3")
+        assert judgment.violated
+        # Adjustment lifts the margin to the interval midpoint (9%).
+        assert judgment.adjustment == pytest.approx(9.0e6 + 4.0e6)
+
+    def test_healthy_margin_passes(self):
+        judgment = transactional_net_margin(100.0, 90.0, PROFILE)
+        assert not judgment.violated
+
+    def test_no_revenue_with_costs(self):
+        judgment = transactional_net_margin(0.0, 50.0, PROFILE, company_id="X")
+        assert judgment.violated
+        assert judgment.adjustment > 0
+
+    def test_no_activity(self):
+        judgment = transactional_net_margin(0.0, 0.0, PROFILE)
+        assert not judgment.violated
+
+
+class TestProfitSplit:
+    def test_under_allocated_producer_flagged(self):
+        from repro.ite.alp import profit_split
+
+        judgment = profit_split(
+            {"C3": -1.0e6, "C2": 21.0e6},
+            {"C3": 0.4, "C2": 0.6},
+        )
+        assert judgment.violated
+        # C3 entitled to 40% of 20M = 8M; booked -1M -> 9M adjustment.
+        assert judgment.adjustment == pytest.approx(9.0e6)
+        assert "C3" in judgment.rationale
+
+    def test_fair_split_passes(self):
+        from repro.ite.alp import profit_split
+
+        judgment = profit_split(
+            {"a": 40.0, "b": 60.0}, {"a": 0.4, "b": 0.6}
+        )
+        assert not judgment.violated
+
+    def test_focus_party(self):
+        from repro.ite.alp import profit_split
+
+        judgment = profit_split(
+            {"a": 10.0, "b": 90.0},
+            {"a": 0.5, "b": 0.5},
+            focus="b",
+        )
+        assert not judgment.violated  # b is over-allocated, not under
+
+    def test_unknown_focus(self):
+        from repro.ite.alp import profit_split
+
+        with pytest.raises(EvaluationError):
+            profit_split({"a": 1.0}, {"a": 1.0}, focus="zzz")
+
+    def test_mismatched_parties(self):
+        from repro.ite.alp import profit_split
+
+        with pytest.raises(EvaluationError, match="same parties"):
+            profit_split({"a": 1.0}, {"b": 1.0})
+
+    def test_non_positive_combined_profit(self):
+        from repro.ite.alp import profit_split
+
+        judgment = profit_split({"a": -5.0, "b": 2.0}, {"a": 0.5, "b": 0.5})
+        assert not judgment.violated
+        assert "not informative" in judgment.rationale
+
+    def test_bad_weights(self):
+        from repro.ite.alp import profit_split
+
+        with pytest.raises(EvaluationError, match="positive"):
+            profit_split({"a": 1.0}, {"a": 0.0})
+
+    def test_empty(self):
+        from repro.ite.alp import profit_split
+
+        with pytest.raises(EvaluationError):
+            profit_split({}, {})

@@ -1,0 +1,120 @@
+"""Unit tests for transaction records and the simulator."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.ite.transactions import (
+    DEFAULT_PROFILES,
+    SimulationConfig,
+    Transaction,
+    TransactionBook,
+    simulate_transactions,
+)
+
+
+def tx(**overrides) -> Transaction:
+    base = dict(
+        transaction_id="T1",
+        seller="a",
+        buyer="b",
+        industry="general",
+        quantity=100.0,
+        unit_price=10.0,
+        unit_cost=8.0,
+    )
+    base.update(overrides)
+    return Transaction(**base)
+
+
+class TestTransaction:
+    def test_derived_quantities(self):
+        t = tx()
+        assert t.revenue == 1000.0
+        assert t.total_cost == 800.0
+        assert t.gross_profit == 200.0
+        assert t.markup == pytest.approx(0.25)
+
+    def test_zero_cost_markup_guard(self):
+        assert tx(unit_cost=0.0).markup == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(EvaluationError):
+            tx(quantity=0)
+        with pytest.raises(EvaluationError):
+            tx(unit_price=-1)
+
+
+class TestBook:
+    def test_indexing(self):
+        book = TransactionBook()
+        book.add(tx(transaction_id="T1"))
+        book.add(tx(transaction_id="T2", buyer="c"), evading=True)
+        assert len(book) == 2
+        assert set(book.by_arc()) == {("a", "b"), ("a", "c")}
+        assert set(book.by_seller()) == {"a"}
+        assert book.is_evading(book.transactions[1])
+        assert not book.is_evading(book.transactions[0])
+
+    def test_for_arcs(self):
+        book = TransactionBook()
+        book.add(tx(transaction_id="T1"))
+        book.add(tx(transaction_id="T2", buyer="c"))
+        got = book.for_arcs({("a", "c")})
+        assert [t.transaction_id for t in got] == ["T2"]
+
+
+class TestSimulator:
+    ARCS = [("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")]
+    INDUSTRY = {"a": "chemicals", "b": "retail", "c": "chemicals", "d": "food"}
+
+    def test_every_arc_gets_transactions(self):
+        book = simulate_transactions(self.ARCS, set(), self.INDUSTRY)
+        assert set(book.by_arc()) == set(self.ARCS)
+        assert all(t.quantity > 0 for t in book)
+
+    def test_evasion_only_on_suspicious_arcs(self):
+        suspicious = {("a", "b"), ("b", "c")}
+        book = simulate_transactions(
+            self.ARCS,
+            suspicious,
+            self.INDUSTRY,
+            config=SimulationConfig(evasion_rate=1.0, seed=5),
+        )
+        for t in book:
+            if book.is_evading(t):
+                assert (t.seller, t.buyer) in suspicious
+
+    def test_evading_prices_below_fair(self):
+        book = simulate_transactions(
+            self.ARCS,
+            set(self.ARCS),
+            self.INDUSTRY,
+            config=SimulationConfig(evasion_rate=1.0, seed=5),
+        )
+        for t in book:
+            profile = DEFAULT_PROFILES[t.industry]
+            assert t.unit_price < profile.fair_unit_price
+
+    def test_zero_evasion_rate(self):
+        book = simulate_transactions(
+            self.ARCS,
+            set(self.ARCS),
+            self.INDUSTRY,
+            config=SimulationConfig(evasion_rate=0.0, seed=5),
+        )
+        assert book.evading_ids == set()
+
+    def test_deterministic(self):
+        cfg = SimulationConfig(seed=9)
+        a = simulate_transactions(self.ARCS, set(), self.INDUSTRY, config=cfg)
+        b = simulate_transactions(self.ARCS, set(), self.INDUSTRY, config=cfg)
+        assert [t.transaction_id for t in a] == [t.transaction_id for t in b]
+        assert [t.unit_price for t in a] == [t.unit_price for t in b]
+
+    def test_config_validation(self):
+        with pytest.raises(EvaluationError):
+            SimulationConfig(mean_transactions_per_arc=0)
+        with pytest.raises(EvaluationError):
+            SimulationConfig(underpricing_range=(0.9, 0.5))
+        with pytest.raises(EvaluationError):
+            SimulationConfig(evasion_rate=2.0)

@@ -1,0 +1,73 @@
+"""Unit tests for the optimized engine and its helpers."""
+
+import pytest
+
+from repro.fusion.tpiin import TPIIN
+from repro.mining.detector import detect
+from repro.mining.fast import enumerate_root_paths, fast_detect, paths_between
+from repro.model.colors import EColor
+
+
+def diamond_tpiin() -> TPIIN:
+    return TPIIN.build(
+        persons=["r"],
+        companies=["a", "b", "t", "u"],
+        influence=[("r", "a"), ("r", "b"), ("a", "t"), ("b", "t"), ("t", "u")],
+        trading=[("a", "t"), ("u", "a")],
+    )
+
+
+class TestHelpers:
+    def test_enumerate_root_paths(self):
+        t = diamond_tpiin()
+        by_end = enumerate_root_paths(t.graph, "r")
+        assert by_end["r"] == [("r",)]
+        assert set(by_end["t"]) == {("r", "a", "t"), ("r", "b", "t")}
+        assert len(by_end["u"]) == 2
+
+    def test_paths_between(self):
+        t = diamond_tpiin()
+        assert set(paths_between(t.graph, "r", "t")) == {
+            ("r", "a", "t"),
+            ("r", "b", "t"),
+        }
+        assert paths_between(t.graph, "t", "r") == []
+        assert paths_between(t.graph, "t", "t") == [("t",)]
+
+    def test_paths_between_prunes_unreachable(self):
+        t = diamond_tpiin()
+        assert paths_between(t.graph, "u", "b") == []
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("fixture", ["fig6", "fig8", "case1", "case2", "case3"])
+    def test_fast_matches_faithful_on_fixtures(self, fixture, request):
+        tpiin = request.getfixturevalue(fixture)
+        faithful = detect(tpiin)
+        fast = fast_detect(tpiin)
+        assert {g.key() for g in fast.groups} == {g.key() for g in faithful.groups}
+        assert fast.suspicious_trading_arcs == faithful.suspicious_trading_arcs
+        assert fast.total_trading_arcs == faithful.total_trading_arcs
+
+    def test_fast_on_diamond_with_circle(self):
+        t = diamond_tpiin()
+        faithful = detect(t)
+        fast = fast_detect(t)
+        assert {g.key() for g in fast.groups} == {g.key() for g in faithful.groups}
+
+    def test_collect_groups_false_matches_counts(self, fig8):
+        full = fast_detect(fig8, collect_groups=True)
+        counted = fast_detect(fig8, collect_groups=False)
+        assert counted.groups == []
+        assert counted.simple_group_count == full.simple_group_count
+        assert counted.complex_group_count == full.complex_group_count
+        assert counted.group_count == full.group_count
+        assert counted.suspicious_trading_arcs == full.suspicious_trading_arcs
+        assert counted.kind_counts() == full.kind_counts()
+
+    def test_small_province_equivalence(self, small_province_tpiin):
+        faithful = detect(small_province_tpiin)
+        fast = fast_detect(small_province_tpiin)
+        assert {g.key() for g in fast.groups} == {g.key() for g in faithful.groups}
+        assert fast.subtpiin_count == faithful.subtpiin_count
+        assert fast.cross_component_trades == faithful.cross_component_trades

@@ -1,0 +1,159 @@
+"""Unit tests for the streaming detector."""
+
+import pytest
+
+from repro.errors import MiningError
+from repro.fusion.tpiin import TPIIN
+from repro.mining.fast import fast_detect
+from repro.mining.groups import GroupKind
+from repro.mining.incremental import IncrementalDetector
+
+
+def antecedent_only_fig8(fig8) -> TPIIN:
+    """Fig. 8's antecedent network with no trading arcs yet."""
+    return TPIIN(graph=fig8.antecedent_graph())
+
+
+class TestStreaming:
+    def test_initial_ingest_matches_batch(self, fig8):
+        detector = IncrementalDetector(fig8)
+        batch = fast_detect(fig8)
+        assert detector.suspicious_arcs == batch.suspicious_trading_arcs
+        assert {g.key() for g in detector.result().groups} == {
+            g.key() for g in batch.groups
+        }
+
+    def test_arcs_stream_one_by_one(self, fig8):
+        detector = IncrementalDetector(antecedent_only_fig8(fig8))
+        assert len(detector) == 0
+        update = detector.add_trading_arc("C3", "C5")
+        assert update.applied and update.suspicious
+        assert len(update.groups) == 1
+        assert update.groups[0].antecedent == "L1"
+
+        update = detector.add_trading_arc("C8", "C4")
+        assert update.applied and not update.suspicious
+        assert update.groups == ()
+        assert detector.suspicious_arcs == {("C3", "C5")}
+
+    def test_duplicate_add_is_idempotent(self, fig8):
+        detector = IncrementalDetector(fig8)
+        before = detector.result().group_count
+        update = detector.add_trading_arc("C3", "C5")
+        assert not update.applied
+        assert update.suspicious  # still reports the arc's state
+        assert detector.result().group_count == before
+
+    def test_remove_reverts_counts(self, fig8):
+        detector = IncrementalDetector(antecedent_only_fig8(fig8))
+        for arc in fig8.trading_arcs():
+            detector.add_trading_arc(*arc)
+        full = detector.result()
+        removal = detector.remove_trading_arc("C3", "C5")
+        assert removal.applied and removal.group_count == 1
+        assert detector.suspicious_arcs == {("C5", "C6"), ("C7", "C8")}
+        detector.add_trading_arc("C3", "C5")
+        assert detector.result().group_count == full.group_count
+
+    def test_remove_absent_arc(self, fig8):
+        detector = IncrementalDetector(fig8)
+        update = detector.remove_trading_arc("C1", "C2")
+        assert not update.applied
+
+    def test_contains_and_len(self, fig8):
+        detector = IncrementalDetector(fig8)
+        assert ("C3", "C5") in detector
+        assert ("C1", "C8") not in detector
+        assert len(detector) == 5
+
+    def test_groups_for_arc(self, fig8):
+        detector = IncrementalDetector(fig8)
+        groups = detector.groups_for_arc("C5", "C6")
+        assert len(groups) == 1
+        assert groups[0].members == frozenset({"B1", "C5", "C6"})
+        assert detector.groups_for_arc("C8", "C4") == []
+
+
+class TestValidation:
+    def test_self_trade_rejected(self, fig8):
+        detector = IncrementalDetector(fig8)
+        with pytest.raises(MiningError, match="self trade"):
+            detector.add_trading_arc("C5", "C5")
+
+    def test_unknown_endpoint_rejected(self, fig8):
+        detector = IncrementalDetector(fig8)
+        with pytest.raises(MiningError, match="unknown"):
+            detector.add_trading_arc("C5", "C99")
+
+    def test_person_endpoint_rejected(self, fig8):
+        detector = IncrementalDetector(fig8)
+        with pytest.raises(MiningError, match="not a company"):
+            detector.add_trading_arc("C5", "L1")
+
+
+class TestCountMode:
+    def test_count_mode_matches(self, fig8):
+        counting = IncrementalDetector(fig8, collect_groups=False)
+        full = IncrementalDetector(fig8)
+        assert counting.result().group_count == full.result().group_count
+        assert counting.result().simple_group_count == 3
+        assert counting.result().groups == []
+        assert (
+            counting.result().suspicious_trading_arcs
+            == full.result().suspicious_trading_arcs
+        )
+
+    def test_count_mode_removal(self, fig8):
+        counting = IncrementalDetector(fig8, collect_groups=False)
+        counting.remove_trading_arc("C3", "C5")
+        assert counting.result().group_count == 2
+
+
+class TestSpecialShapes:
+    def test_circle_arc(self):
+        tpiin = TPIIN.build(
+            persons=["a"],
+            companies=["c4", "c5"],
+            influence=[("a", "c4"), ("c4", "c5")],
+        )
+        detector = IncrementalDetector(tpiin)
+        update = detector.add_trading_arc("c5", "c4")
+        assert update.suspicious
+        assert update.groups[0].kind is GroupKind.CIRCLE
+
+    def test_intra_scs_arc(self):
+        from repro.fusion.pipeline import fuse
+        from repro.model.colors import InfluenceKind
+        from repro.model.homogeneous import (
+            InfluenceGraph,
+            InterdependenceGraph,
+            InvestmentGraph,
+            TradingGraph,
+        )
+
+        g2 = InfluenceGraph()
+        g2.add_influence("p1", "a", InfluenceKind.CEO_OF, legal_person=True)
+        g2.add_influence("p2", "b", InfluenceKind.CEO_OF, legal_person=True)
+        gi = InvestmentGraph()
+        gi.add_investment("a", "b")
+        gi.add_investment("b", "a")
+        tpiin = fuse(InterdependenceGraph(), g2, gi, TradingGraph()).tpiin
+        detector = IncrementalDetector(tpiin)
+        update = detector.add_trading_arc("a", "b")
+        assert update.suspicious
+        assert update.groups[0].kind is GroupKind.SCS
+
+    def test_small_province_stream_matches_batch(self, small_province_tpiin):
+        batch = fast_detect(small_province_tpiin)
+        antecedent = TPIIN(
+            graph=small_province_tpiin.antecedent_graph(),
+            node_map=dict(small_province_tpiin.node_map),
+            scs_subgraphs=dict(small_province_tpiin.scs_subgraphs),
+        )
+        detector = IncrementalDetector(antecedent)
+        for arc in small_province_tpiin.trading_arcs():
+            detector.add_trading_arc(*arc)
+        assert detector.suspicious_arcs == batch.suspicious_trading_arcs
+        assert {g.key() for g in detector.result().groups} == {
+            g.key() for g in batch.groups
+        }

@@ -1,0 +1,147 @@
+"""Unit tests for component-pattern matching (Appendix B)."""
+
+import pytest
+
+from repro.mining.groups import GroupKind
+from repro.mining.matching import (
+    extract_circle,
+    match_component_patterns,
+    match_pairs_naive,
+)
+from repro.mining.patterns import PatternTrail, build_patterns_tree
+
+
+def fig10_trails(fig8):
+    return build_patterns_tree(fig8.graph, build_tree=False).trails
+
+
+class TestFig10Matching:
+    def test_three_groups_found(self, fig8):
+        groups = match_component_patterns(fig10_trails(fig8))
+        got = {(frozenset(g.members), g.antecedent) for g in groups}
+        assert got == {
+            (frozenset({"L1", "C1", "C2", "C3", "C5"}), "L1"),
+            (frozenset({"B1", "C5", "C6"}), "B1"),
+            (frozenset({"B2", "C7", "C8"}), "B2"),
+        }
+
+    def test_all_simple(self, fig8):
+        groups = match_component_patterns(fig10_trails(fig8))
+        assert all(g.is_simple for g in groups)
+        assert all(g.kind is GroupKind.MATCHED for g in groups)
+
+    def test_component_patterns_of_l1_group(self, fig8):
+        groups = match_component_patterns(fig10_trails(fig8))
+        l1 = next(g for g in groups if g.antecedent == "L1")
+        assert l1.trading_trail == ("L1", "C1", "C3", "C5")
+        assert l1.support_trail == ("L1", "C2", "C5")
+        assert l1.trading_arc == ("C3", "C5")
+
+    def test_naive_agrees(self, fig8):
+        trails = fig10_trails(fig8)
+        indexed = {g.key() for g in match_component_patterns(trails)}
+        naive = {g.key() for g in match_pairs_naive(trails)}
+        assert indexed == naive
+
+
+class TestHandPatterns:
+    def test_same_antecedent_required(self):
+        trails = [
+            PatternTrail(("a", "x"), trading_target="t"),
+            PatternTrail(("b", "t")),  # different antecedent: no match
+        ]
+        assert match_component_patterns(trails) == []
+
+    def test_match_on_contained_end_node(self):
+        trails = [
+            PatternTrail(("a", "x"), trading_target="t"),
+            PatternTrail(("a", "t", "z")),  # contains t before z
+        ]
+        groups = match_component_patterns(trails)
+        assert len(groups) == 1
+        assert groups[0].support_trail == ("a", "t")
+
+    def test_prefix_deduplication(self):
+        # Two type-(b) patterns share the support prefix (a, t).
+        trails = [
+            PatternTrail(("a", "x"), trading_target="t"),
+            PatternTrail(("a", "t"), trading_target="u"),
+            PatternTrail(("a", "t"), trading_target="v"),
+        ]
+        groups = match_component_patterns(trails)
+        matched = [g for g in groups if g.trading_arc == ("x", "t")]
+        assert len(matched) == 1
+
+    def test_type_b_support_side(self):
+        # The support may come from a type-(b) pattern's influence prefix.
+        trails = [
+            PatternTrail(("a", "x"), trading_target="t"),
+            PatternTrail(("a", "t"), trading_target="w"),
+        ]
+        groups = match_component_patterns(trails)
+        arcs = {g.trading_arc for g in groups}
+        assert ("x", "t") in arcs
+
+    def test_two_trading_closers_to_same_end_not_paired(self):
+        # Both patterns end with a trading arc into t; Appendix-B matching
+        # requires the support side to reach t by influence.
+        trails = [
+            PatternTrail(("a", "x"), trading_target="t"),
+            PatternTrail(("a", "y"), trading_target="t"),
+        ]
+        assert match_component_patterns(trails) == []
+
+    def test_parallel_influence_and_trading_arc(self):
+        # a -> t influence and x -> t trading: the two node sequences
+        # coincide except for the closing arc color; still a valid group.
+        trails = [
+            PatternTrail(("a",), trading_target="t"),
+            PatternTrail(("a", "t")),
+        ]
+        groups = match_component_patterns(trails)
+        assert len(groups) == 1
+        assert groups[0].trading_trail == ("a", "t")
+        assert groups[0].support_trail == ("a", "t")
+        assert groups[0].is_simple
+
+
+class TestCircles:
+    def test_extract_circle(self):
+        trail = PatternTrail(("a", "c4", "c5"), trading_target="c4")
+        assert extract_circle(trail) == ("c4", "c5", "c4")
+
+    def test_extract_circle_requires_circle(self):
+        with pytest.raises(ValueError):
+            extract_circle(PatternTrail(("a", "b"), trading_target="t"))
+
+    def test_circle_group_emitted_once(self):
+        trails = [
+            PatternTrail(("a", "c4", "c5"), trading_target="c4"),
+            PatternTrail(("b", "c4", "c5"), trading_target="c4"),  # same circle
+        ]
+        groups = match_component_patterns(trails)
+        circles = [g for g in groups if g.kind is GroupKind.CIRCLE]
+        assert len(circles) == 1
+        assert circles[0].trading_trail == ("c4", "c5", "c4")
+        assert circles[0].support_trail == ("c4",)
+        assert circles[0].is_simple
+
+    def test_circular_pattern_not_pair_matched(self):
+        # The walk visits c4 twice; only the circle group comes out of it.
+        trails = [
+            PatternTrail(("a", "c4", "c5"), trading_target="c4"),
+            PatternTrail(("a", "c4")),
+        ]
+        groups = match_component_patterns(trails)
+        assert all(g.kind is GroupKind.CIRCLE for g in groups)
+
+    def test_naive_handles_circles_identically(self):
+        trails = [
+            PatternTrail(("a", "c4", "c5"), trading_target="c4"),
+            PatternTrail(("b", "c4", "c5"), trading_target="c4"),
+            PatternTrail(("a", "x"), trading_target="c5"),
+            PatternTrail(("a", "c4", "c5")),
+        ]
+        indexed = {g.key() for g in match_component_patterns(trails)}
+        naive = {g.key() for g in match_pairs_naive(trails)}
+        assert indexed == naive

@@ -1,0 +1,69 @@
+"""Unit tests for the suspicious-arc oracles."""
+
+import pytest
+
+from repro.fusion.tpiin import TPIIN
+from repro.mining.detector import detect
+from repro.mining.oracle import suspicious_arc_oracle, suspicious_arc_oracle_closure
+
+
+class TestOracleOnFixtures:
+    @pytest.mark.parametrize("fixture", ["fig6", "fig8", "case1", "case2", "case3"])
+    def test_both_oracles_agree(self, fixture, request):
+        tpiin = request.getfixturevalue(fixture)
+        assert suspicious_arc_oracle(tpiin) == suspicious_arc_oracle_closure(tpiin)
+
+    @pytest.mark.parametrize("fixture", ["fig6", "fig8", "case1", "case2", "case3"])
+    def test_oracle_matches_detector(self, fixture, request):
+        tpiin = request.getfixturevalue(fixture)
+        assert suspicious_arc_oracle(tpiin) == detect(tpiin).suspicious_trading_arcs
+
+    def test_fig8_values(self, fig8):
+        assert suspicious_arc_oracle(fig8) == {
+            ("C3", "C5"),
+            ("C5", "C6"),
+            ("C7", "C8"),
+        }
+
+
+class TestOracleShapes:
+    def test_circle_arc_is_suspicious(self):
+        t = TPIIN.build(
+            companies=["c1", "c2"],
+            influence=[("c2", "c1")],
+            trading=[("c1", "c2")],
+        )
+        assert suspicious_arc_oracle(t) == {("c1", "c2")}
+
+    def test_investor_trading_with_investee(self):
+        t = TPIIN.build(
+            companies=["c1", "c2"],
+            influence=[("c1", "c2")],
+            trading=[("c1", "c2")],
+        )
+        assert suspicious_arc_oracle(t) == {("c1", "c2")}
+
+    def test_unrelated_arc_not_suspicious(self):
+        t = TPIIN.build(
+            persons=["p", "q"],
+            companies=["c1", "c2"],
+            influence=[("p", "c1"), ("q", "c2")],
+            trading=[("c1", "c2")],
+        )
+        assert suspicious_arc_oracle(t) == set()
+
+    def test_intra_scs_always_suspicious(self):
+        t = TPIIN.build(companies=["x"])
+        t.intra_scs_trades.append(("a", "b"))
+        assert suspicious_arc_oracle(t) == {("a", "b")}
+        assert suspicious_arc_oracle_closure(t) == {("a", "b")}
+
+    def test_empty_tpiin(self):
+        t = TPIIN.build(companies=["x"])
+        assert suspicious_arc_oracle(t) == set()
+
+    def test_small_province_consistency(self, small_province_tpiin):
+        oracle = suspicious_arc_oracle(small_province_tpiin)
+        closure = suspicious_arc_oracle_closure(small_province_tpiin)
+        detected = detect(small_province_tpiin).suspicious_trading_arcs
+        assert oracle == closure == detected

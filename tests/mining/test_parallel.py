@@ -1,0 +1,34 @@
+"""Unit tests for the multiprocessing detector."""
+
+from repro.mining.detector import detect
+from repro.mining.parallel import parallel_detect
+
+
+class TestParallel:
+    def test_matches_faithful_on_fig8(self, fig8):
+        # Single subTPIIN: takes the in-process fallback path.
+        faithful = detect(fig8)
+        parallel = parallel_detect(fig8)
+        assert {g.key() for g in parallel.groups} == {
+            g.key() for g in faithful.groups
+        }
+        assert parallel.engine == "parallel"
+
+    def test_matches_faithful_on_small_province(self, small_province_tpiin):
+        faithful = detect(small_province_tpiin)
+        parallel = parallel_detect(small_province_tpiin, processes=2)
+        assert {g.key() for g in parallel.groups} == {
+            g.key() for g in faithful.groups
+        }
+        assert parallel.suspicious_trading_arcs == faithful.suspicious_trading_arcs
+        assert parallel.pattern_trail_count == faithful.pattern_trail_count
+        assert parallel.subtpiin_count == faithful.subtpiin_count
+
+    def test_engine_dispatch(self, fig8):
+        result = detect(fig8, engine="parallel")
+        assert result.engine == "parallel"
+
+    def test_sub_results_sorted_by_index(self, small_province_tpiin):
+        result = parallel_detect(small_province_tpiin, processes=2)
+        indices = [sub.index for sub in result.sub_results]
+        assert indices == sorted(indices)

@@ -1,0 +1,73 @@
+"""Unit tests for intra-SCS suspicious-trade handling."""
+
+import pytest
+
+from repro.errors import MiningError
+from repro.fusion.tpiin import TPIIN
+from repro.graph.digraph import DiGraph
+from repro.mining.groups import GroupKind
+from repro.mining.scs_groups import scs_suspicious_groups, shortest_path_in
+from repro.model.colors import VColor
+
+
+def scs_tpiin() -> TPIIN:
+    """A contracted TPIIN carrying one saved SCS {a, b, c} (a ring)."""
+    saved = DiGraph()
+    for n in ("a", "b", "c"):
+        saved.add_node(n, VColor.COMPANY)
+    saved.add_arc("a", "b", "Investment")
+    saved.add_arc("b", "c", "Investment")
+    saved.add_arc("c", "a", "Investment")
+    tpiin = TPIIN.build(companies=["other"])
+    tpiin.scs_subgraphs["scs:a+b+c"] = saved
+    tpiin.intra_scs_trades.extend([("a", "c"), ("c", "b")])
+    return tpiin
+
+
+class TestShortestPath:
+    def test_direct(self):
+        g = scs_tpiin().scs_subgraphs["scs:a+b+c"]
+        assert shortest_path_in(g, "a", "b") == ("a", "b")
+
+    def test_around_the_ring(self):
+        g = scs_tpiin().scs_subgraphs["scs:a+b+c"]
+        assert shortest_path_in(g, "c", "b") == ("c", "a", "b")
+
+    def test_trivial(self):
+        g = scs_tpiin().scs_subgraphs["scs:a+b+c"]
+        assert shortest_path_in(g, "a", "a") == ("a",)
+
+    def test_unreachable_raises(self):
+        g = DiGraph()
+        g.add_node("x")
+        g.add_node("y")
+        with pytest.raises(MiningError, match="no path"):
+            shortest_path_in(g, "x", "y")
+
+
+class TestScsGroups:
+    def test_one_group_per_trade(self):
+        groups = scs_suspicious_groups(scs_tpiin())
+        assert len(groups) == 2
+        assert all(g.kind is GroupKind.SCS for g in groups)
+        assert all(g.is_simple for g in groups)
+
+    def test_witness_trails(self):
+        groups = {g.trading_arc: g for g in scs_suspicious_groups(scs_tpiin())}
+        assert groups[("a", "c")].support_trail == ("a", "b", "c")
+        assert groups[("c", "b")].support_trail == ("c", "a", "b")
+
+    def test_duplicate_trades_deduped(self):
+        tpiin = scs_tpiin()
+        tpiin.intra_scs_trades.append(("a", "c"))
+        assert len(scs_suspicious_groups(tpiin)) == 2
+
+    def test_no_trades_no_groups(self):
+        tpiin = TPIIN.build(companies=["x"])
+        assert scs_suspicious_groups(tpiin) == []
+
+    def test_corrupted_provenance_raises(self):
+        tpiin = scs_tpiin()
+        tpiin.intra_scs_trades.append(("a", "other"))
+        with pytest.raises(MiningError, match="does not lie inside"):
+            scs_suspicious_groups(tpiin)

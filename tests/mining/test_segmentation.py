@@ -1,0 +1,64 @@
+"""Unit tests for subTPIIN segmentation (Definition 4)."""
+
+from repro.fusion.tpiin import TPIIN
+from repro.mining.segmentation import segment
+
+
+def two_component_tpiin() -> TPIIN:
+    return TPIIN.build(
+        persons=["p", "q"],
+        companies=["a", "b", "x", "y"],
+        influence=[("p", "a"), ("p", "b"), ("q", "x"), ("q", "y")],
+        trading=[("a", "b"), ("a", "x"), ("x", "y")],
+    )
+
+
+class TestSegmentation:
+    def test_fig8_is_one_subtpiin(self, fig8):
+        result = segment(fig8)
+        assert result.number_of_subtpiins == 1
+        sub = result.subtpiins[0]
+        assert sub.influence_arc_count == 14
+        assert sub.trading_arc_count == 5
+        assert result.cross_component_trades == []
+
+    def test_components_split_on_influence_only(self):
+        result = segment(two_component_tpiin())
+        assert result.number_of_subtpiins == 2
+        sizes = sorted(len(s.nodes) for s in result.subtpiins)
+        assert sizes == [3, 3]
+
+    def test_cross_component_trades_dismissed(self):
+        result = segment(two_component_tpiin())
+        assert result.cross_component_trades == [("a", "x")]
+        total_kept = sum(s.trading_arc_count for s in result.subtpiins)
+        assert total_kept == 2
+
+    def test_trading_arcs_attached_to_own_component(self):
+        result = segment(two_component_tpiin())
+        for sub in result.subtpiins:
+            if "a" in sub.nodes:
+                assert sub.graph.has_arc("a", "b")
+            else:
+                assert sub.graph.has_arc("x", "y")
+
+    def test_isolated_nodes_form_singletons(self):
+        t = two_component_tpiin()
+        t.graph.add_node("hermit", "Company")
+        result = segment(t)
+        assert result.number_of_subtpiins == 3
+
+    def test_skip_trivial(self):
+        t = two_component_tpiin()
+        t.graph.add_node("hermit", "Company")
+        result = segment(t, skip_trivial=True)
+        assert result.number_of_subtpiins == 2
+        assert all(s.trading_arc_count > 0 for s in result.subtpiins)
+
+    def test_indices_are_sequential(self):
+        result = segment(two_component_tpiin())
+        assert [s.index for s in result.subtpiins] == [0, 1]
+
+    def test_iteration(self):
+        result = segment(two_component_tpiin())
+        assert list(result) == result.subtpiins

@@ -1,0 +1,116 @@
+"""Unit tests for the homogeneous source graphs G1, G2, GI, G4."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.model.colors import InfluenceKind, InterdependenceKind, VColor
+from repro.model.homogeneous import (
+    InfluenceGraph,
+    InterdependenceGraph,
+    InvestmentGraph,
+    TradingGraph,
+)
+
+
+class TestInterdependence:
+    def test_single_link_per_pair(self):
+        g1 = InterdependenceGraph()
+        assert g1.add_link("a", "b", InterdependenceKind.KINSHIP)
+        # A second (even different-kind) link on the same pair is dropped,
+        # per Section 4.1: "we only keep one".
+        assert not g1.add_link("a", "b", InterdependenceKind.INTERLOCKING)
+        assert g1.number_of_links == 1
+
+    def test_accepts_string_kind(self):
+        g1 = InterdependenceGraph()
+        assert g1.add_link("a", "b", "kinship")
+        with pytest.raises(ValueError):
+            g1.add_link("c", "d", "friendship")
+
+    def test_validate_passes(self):
+        g1 = InterdependenceGraph()
+        g1.add_link("a", "b", InterdependenceKind.KINSHIP)
+        g1.validate()
+
+    def test_counts(self):
+        g1 = InterdependenceGraph()
+        g1.add_person("solo")
+        g1.add_link("a", "b", InterdependenceKind.INTERLOCKING)
+        assert g1.number_of_persons == 3
+        assert g1.number_of_links == 1
+
+
+def valid_g2() -> InfluenceGraph:
+    g2 = InfluenceGraph()
+    g2.add_influence("p1", "c1", InfluenceKind.CEO_OF, legal_person=True)
+    g2.add_influence("p2", "c1", InfluenceKind.D_OF)
+    g2.add_influence("p1", "c2", InfluenceKind.CB_OF, legal_person=True)
+    return g2
+
+
+class TestInfluence:
+    def test_valid_graph(self):
+        g2 = valid_g2()
+        g2.validate()
+        assert g2.number_of_persons == 2
+        assert g2.number_of_companies == 2
+        assert g2.number_of_influences == 3
+        assert g2.legal_person("c1") == "p1"
+        assert g2.legal_person_map == {"c1": "p1", "c2": "p1"}
+
+    def test_company_without_lp_fails_validation(self):
+        g2 = InfluenceGraph()
+        g2.add_influence("p1", "c1", InfluenceKind.D_OF)
+        with pytest.raises(ValidationError, match="legal person"):
+            g2.validate()
+
+    def test_second_lp_rejected(self):
+        g2 = valid_g2()
+        with pytest.raises(ValidationError, match="already has legal person"):
+            g2.add_influence("p2", "c1", InfluenceKind.CEO_OF, legal_person=True)
+
+    def test_same_lp_reasserted_ok(self):
+        g2 = valid_g2()
+        g2.add_influence("p1", "c1", InfluenceKind.D_OF, legal_person=True)
+        g2.validate()
+
+    def test_person_with_indegree_fails(self):
+        g2 = valid_g2()
+        # Corrupt the graph directly: an arc into a person.
+        g2.graph.add_arc("c1", "p2", InfluenceKind.D_OF)
+        with pytest.raises(ValidationError):
+            g2.validate()
+
+    def test_unknown_kind_rejected(self):
+        g2 = InfluenceGraph()
+        with pytest.raises(ValueError):
+            g2.add_influence("p", "c", "owns")
+
+
+class TestCompanyArcGraphs:
+    def test_investment_self_arc_rejected(self):
+        gi = InvestmentGraph()
+        with pytest.raises(ValidationError, match="itself"):
+            gi.add_investment("c1", "c1")
+
+    def test_investment_cycles_allowed(self):
+        gi = InvestmentGraph()
+        gi.add_investment("c1", "c2")
+        gi.add_investment("c2", "c1")
+        gi.validate()
+        assert gi.number_of_arcs == 2
+
+    def test_trading_graph(self):
+        g4 = TradingGraph()
+        g4.add_trade("c1", "c2")
+        g4.add_trade("c2", "c1")  # both directions are distinct relations
+        g4.validate()
+        assert g4.number_of_companies == 2
+        assert g4.number_of_arcs == 2
+
+    def test_nodes_are_companies(self):
+        g4 = TradingGraph()
+        g4.add_trade("c1", "c2")
+        assert all(
+            g4.graph.node_color(n) == VColor.COMPANY for n in g4.graph.nodes()
+        )

@@ -1,0 +1,67 @@
+"""Unit tests for the role algebra (Section 4.1's 15 -> 7 reduction)."""
+
+import pytest
+
+from repro.model.roles import (
+    FULL_ROLE_COMBINATIONS,
+    LEGAL_PERSON_ROLES,
+    REDUCED_ROLE_COMBINATIONS,
+    Position,
+    Role,
+    admissible_legal_person,
+    reduce_positions,
+)
+
+
+class TestCombinatorics:
+    def test_fifteen_full_combinations(self):
+        assert len(FULL_ROLE_COMBINATIONS) == 15
+        assert len(set(FULL_ROLE_COMBINATIONS)) == 15
+
+    def test_seven_reduced_combinations(self):
+        assert len(REDUCED_ROLE_COMBINATIONS) == 7
+        assert len(set(REDUCED_ROLE_COMBINATIONS)) == 7
+
+    def test_every_full_combination_reduces_into_the_seven(self):
+        reduced = {reduce_positions(combo) for combo in FULL_ROLE_COMBINATIONS}
+        assert reduced == set(REDUCED_ROLE_COMBINATIONS)
+
+    def test_six_legal_person_roles(self):
+        assert len(LEGAL_PERSON_ROLES) == 6
+        assert Role.D not in LEGAL_PERSON_ROLES  # a pure director cannot be LP
+
+
+class TestFromPositions:
+    def test_shareholder_absorbed_into_director(self):
+        assert Role.from_positions("S") == Role.D
+        assert Role.from_positions("CEO", "S") == Role.CEO | Role.D
+        assert Role.from_positions(Position.S, Position.D) == Role.D
+
+    def test_all_positions(self):
+        role = Role.from_positions("CB", "CEO", "S", "D")
+        assert role == Role.CB | Role.CEO | Role.D
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Role.from_positions()
+
+    def test_unknown_position_raises(self):
+        with pytest.raises(ValueError):
+            Role.from_positions("CTO")
+
+
+class TestPredicates:
+    def test_flags(self):
+        role = Role.CEO | Role.D
+        assert role.is_ceo and role.is_director and not role.is_chairman
+
+    def test_admissible_legal_person(self):
+        assert admissible_legal_person(Role.CEO)
+        assert admissible_legal_person(Role.CB)
+        assert admissible_legal_person(Role.CEO | Role.D)
+        assert not admissible_legal_person(Role.D)
+
+    def test_labels(self):
+        assert Role.CEO.label() == "CEO"
+        assert (Role.CEO | Role.D | Role.CB).label() == "CEO+D+CB"
+        assert (Role.D | Role.CB).label() == "D+CB"

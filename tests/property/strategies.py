@@ -1,0 +1,132 @@
+"""Hypothesis strategies generating random (but well-formed) TPIINs.
+
+The generated networks honor Definition 1 by construction: persons have
+indegree zero, company-to-company influence (investment) arcs follow
+index order so the antecedent network is a DAG, and trading arcs join
+distinct companies.  Sizes are kept small because several properties
+compare against the exponential global-traversal baseline.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.fusion.tpiin import TPIIN
+from repro.graph.digraph import DiGraph, UnGraph
+from repro.model.colors import VColor
+
+__all__ = ["tpiins", "digraphs", "bipartite_influence"]
+
+
+@st.composite
+def tpiins(
+    draw,
+    max_persons: int = 5,
+    max_companies: int = 7,
+    max_influence: int = 14,
+    max_trading: int = 10,
+) -> TPIIN:
+    n_persons = draw(st.integers(min_value=0, max_value=max_persons))
+    n_companies = draw(st.integers(min_value=1, max_value=max_companies))
+    persons = [f"p{i}" for i in range(n_persons)]
+    companies = [f"c{i}" for i in range(n_companies)]
+
+    influence: set[tuple[str, str]] = set()
+    if persons:
+        person_arcs = draw(
+            st.sets(
+                st.tuples(
+                    st.sampled_from(persons), st.sampled_from(companies)
+                ),
+                max_size=max_influence,
+            )
+        )
+        influence |= person_arcs
+    if n_companies >= 2:
+        investment_arcs = draw(
+            st.sets(
+                st.tuples(
+                    st.integers(0, n_companies - 2),
+                    st.integers(1, n_companies - 1),
+                ).filter(lambda ij: ij[0] < ij[1]),
+                max_size=max_influence,
+            )
+        )
+        influence |= {(companies[i], companies[j]) for i, j in investment_arcs}
+
+    trading: set[tuple[str, str]] = set()
+    if n_companies >= 2:
+        trading = {
+            (companies[i], companies[j])
+            for i, j in draw(
+                st.sets(
+                    st.tuples(
+                        st.integers(0, n_companies - 1),
+                        st.integers(0, n_companies - 1),
+                    ).filter(lambda ij: ij[0] != ij[1]),
+                    max_size=max_trading,
+                )
+            )
+        }
+
+    tpiin = TPIIN.build(
+        persons=persons,
+        companies=companies,
+        influence=sorted(influence),
+        trading=sorted(trading),
+    )
+    tpiin.validate()
+    return tpiin
+
+
+@st.composite
+def digraphs(draw, max_nodes: int = 12, max_arcs: int = 30) -> DiGraph:
+    """Arbitrary directed graphs (cycles allowed), single arc color."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    arcs = draw(
+        st.sets(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=max_arcs,
+        )
+    )
+    g = DiGraph()
+    for i in range(n):
+        g.add_node(i)
+    for u, v in arcs:
+        g.add_arc(u, v, "X")
+    return g
+
+
+@st.composite
+def bipartite_influence(draw, max_persons: int = 6, max_companies: int = 5):
+    """A (G2-like influence digraph, G1 interdependence graph) pair."""
+    n_persons = draw(st.integers(min_value=1, max_value=max_persons))
+    n_companies = draw(st.integers(min_value=1, max_value=max_companies))
+    persons = [f"p{i}" for i in range(n_persons)]
+    companies = [f"c{i}" for i in range(n_companies)]
+    influence = DiGraph()
+    for p in persons:
+        influence.add_node(p, VColor.PERSON)
+    for c in companies:
+        influence.add_node(c, VColor.COMPANY)
+    for p, c in draw(
+        st.sets(
+            st.tuples(st.sampled_from(persons), st.sampled_from(companies)),
+            max_size=12,
+        )
+    ):
+        influence.add_arc(p, c, "Influence")
+
+    inter = UnGraph()
+    if n_persons >= 2:
+        pairs = draw(
+            st.sets(
+                st.tuples(
+                    st.integers(0, n_persons - 2), st.integers(1, n_persons - 1)
+                ).filter(lambda ij: ij[0] < ij[1]),
+                max_size=6,
+            )
+        )
+        for i, j in pairs:
+            inter.add_edge(persons[i], persons[j], "kinship")
+    return influence, inter

@@ -1,0 +1,99 @@
+"""Properties of the contraction operations."""
+
+from hypothesis import given, settings
+
+from repro.fusion.contraction import (
+    contract_interdependence,
+    fully_contract_by_edges,
+)
+from repro.fusion.scc import contract_strongly_connected
+from repro.graph.dag import is_dag
+from repro.graph.tarjan import nontrivial_sccs, strongly_connected_components
+from repro.model.colors import VColor
+
+from .strategies import bipartite_influence, digraphs
+
+
+@settings(max_examples=100, deadline=None)
+@given(pair=bipartite_influence())
+def test_component_contraction_equals_iterated_pairwise(pair):
+    influence, inter = pair
+    component = contract_interdependence(influence, inter)
+    iterated_graph, _ = fully_contract_by_edges(influence, inter)
+    assert set(iterated_graph.nodes()) == set(component.graph.nodes())
+    assert set(iterated_graph.arcs()) == set(component.graph.arcs())
+
+
+@settings(max_examples=100, deadline=None)
+@given(pair=bipartite_influence())
+def test_contraction_preserves_bipartite_shape(pair):
+    influence, inter = pair
+    result = contract_interdependence(influence, inter)
+    graph = result.graph
+    for node in graph.nodes():
+        color = graph.node_color(node)
+        if color == VColor.PERSON:
+            assert graph.in_degree(node) == 0
+        else:
+            assert graph.out_degree(node) == 0
+    # Every original person resolves to a surviving node.
+    for person in inter.nodes():
+        assert graph.has_node(result.resolve(person))
+
+
+@settings(max_examples=100, deadline=None)
+@given(pair=bipartite_influence())
+def test_contraction_preserves_influence_coverage(pair):
+    """A company keeps exactly the influencer *groups* it had."""
+    influence, inter = pair
+    result = contract_interdependence(influence, inter)
+    for tail, head, _c in influence.arcs():
+        assert result.graph.has_arc(result.resolve(tail), head)
+
+
+@settings(max_examples=100, deadline=None)
+@given(graph=digraphs())
+def test_scc_contraction_yields_dag(graph):
+    result = contract_strongly_connected(graph)
+    assert is_dag(result.graph)
+
+
+@settings(max_examples=100, deadline=None)
+@given(graph=digraphs())
+def test_scc_contraction_provenance(graph):
+    result = contract_strongly_connected(graph)
+    merged = {m for c in nontrivial_sccs(graph) for m in c}
+    assert set(result.node_map) == merged
+    for scs_id, saved in result.saved_subgraphs.items():
+        # Saved subgraphs really are strongly connected.
+        components = strongly_connected_components(saved)
+        assert len(components) == 1
+        assert set(components[0]) == set(saved.nodes())
+        if scs_id in result.syndicates:
+            assert result.syndicates[scs_id].members == {
+                str(n) for n in saved.nodes()
+            }
+        else:
+            # Self-loop singleton: contracted in place.
+            assert set(saved.nodes()) == {scs_id}
+
+
+@settings(max_examples=100, deadline=None)
+@given(graph=digraphs())
+def test_scc_contraction_preserves_reachability(graph):
+    """u ~> v in the original iff map(u) ~> map(v) in the contraction."""
+    from repro.graph.traversal import dfs_preorder
+
+    result = contract_strongly_connected(graph)
+    original_reach = {
+        node: set(dfs_preorder(graph, node)) for node in graph.nodes()
+    }
+    contracted_reach = {
+        node: set(dfs_preorder(result.graph, node))
+        for node in result.graph.nodes()
+    }
+    for u in graph.nodes():
+        for v in graph.nodes():
+            expected = v in original_reach[u]
+            got = result.resolve(v) in contracted_reach[result.resolve(u)]
+            assert got == expected

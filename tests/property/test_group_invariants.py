@@ -1,0 +1,147 @@
+"""Properties of every mined group (Definitions 2-3 as executable checks)."""
+
+from hypothesis import given, settings
+
+from repro.mining.detector import detect
+from repro.mining.groups import GroupKind
+from repro.mining.patterns import build_patterns_tree
+from repro.model.colors import EColor
+
+from .strategies import tpiins
+
+
+def _is_simple_path(nodes) -> bool:
+    return len(set(nodes)) == len(nodes)
+
+
+@settings(max_examples=100, deadline=None)
+@given(tpiin=tpiins())
+def test_group_trails_are_simple_and_color_correct(tpiin):
+    graph = tpiin.graph
+    for group in detect(tpiin).groups:
+        lead = group.trading_trail
+        support = group.support_trail
+        if group.kind is GroupKind.CIRCLE:
+            # Closed trail: interior simple, endpoints equal.
+            assert lead[0] == lead[-1]
+            assert _is_simple_path(lead[:-1])
+        else:
+            assert _is_simple_path(lead)
+            assert _is_simple_path(support)
+        # Influence prefix of the trading trail.
+        for tail, head in zip(lead[:-2], lead[1:-1]):
+            assert graph.has_arc(tail, head, EColor.INFLUENCE)
+        # The closing arc is the single trading arc.
+        assert graph.has_arc(lead[-2], lead[-1], EColor.TRADING)
+        # The support trail is influence-only.
+        for tail, head in zip(support, support[1:]):
+            assert graph.has_arc(tail, head, EColor.INFLUENCE)
+
+
+@settings(max_examples=100, deadline=None)
+@given(tpiin=tpiins())
+def test_every_suspicious_arc_backed_by_a_group(tpiin):
+    result = detect(tpiin)
+    arcs_from_groups = {g.trading_arc for g in result.groups}
+    assert arcs_from_groups == result.suspicious_trading_arcs
+
+
+@settings(max_examples=100, deadline=None)
+@given(tpiin=tpiins())
+def test_matched_group_antecedents_are_roots(tpiin):
+    graph = tpiin.graph
+    for group in detect(tpiin).groups:
+        if group.kind is GroupKind.MATCHED:
+            assert graph.in_degree(group.antecedent, EColor.INFLUENCE) == 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(tpiin=tpiins())
+def test_group_keys_unique(tpiin):
+    groups = detect(tpiin).groups
+    keys = [g.key() for g in groups]
+    assert len(keys) == len(set(keys))
+
+
+@settings(max_examples=100, deadline=None)
+@given(tpiin=tpiins())
+def test_pattern_trails_are_valid_maximal_walks(tpiin):
+    graph = tpiin.graph
+    trails = build_patterns_tree(tpiin.graph, build_tree=False).trails
+    for trail in trails:
+        # Start at an influence root.
+        assert graph.in_degree(trail.antecedent, EColor.INFLUENCE) == 0
+        # Influence body is a simple path over influence arcs.
+        assert _is_simple_path(trail.nodes)
+        for tail, head in zip(trail.nodes, trail.nodes[1:]):
+            assert graph.has_arc(tail, head, EColor.INFLUENCE)
+        if trail.is_ftaop:
+            # Rule 2: closed by one trading arc.
+            assert graph.has_arc(trail.nodes[-1], trail.trading_target, EColor.TRADING)
+        else:
+            # Rule 1: maximal — the last node has no outgoing arc at all.
+            assert graph.out_degree(trail.nodes[-1]) == 0 or len(trail.nodes) == 1
+
+
+@settings(max_examples=100, deadline=None)
+@given(tpiin=tpiins())
+def test_segmentation_is_lossless(tpiin):
+    """Mining per subTPIIN equals mining the un-segmented network."""
+    from repro.mining.matching import match_component_patterns
+    from repro.mining.scs_groups import scs_suspicious_groups
+
+    whole_trails = build_patterns_tree(tpiin.graph, build_tree=False).trails
+    whole = {g.key() for g in match_component_patterns(whole_trails)}
+    whole |= {g.key() for g in scs_suspicious_groups(tpiin)}
+    segmented = {g.key() for g in detect(tpiin).groups}
+    assert whole == segmented
+
+
+@settings(max_examples=60, deadline=None)
+@given(tpiin=tpiins())
+def test_neighborhood_monotone_in_radius(tpiin):
+    """Ego networks grow monotonically with the radius."""
+    from repro.analysis.investigate import extract_neighborhood
+
+    companies = list(tpiin.companies())
+    if not companies:
+        return
+    center = companies[0]
+    previous: set = set()
+    for radius in range(0, 4):
+        ego = extract_neighborhood(tpiin, center, radius=radius)
+        nodes = set(ego.graph.nodes())
+        assert previous <= nodes
+        # Arcs are exactly the induced ones.
+        for tail, head, color in ego.graph.arcs():
+            assert tpiin.graph.has_arc(tail, head, color)
+        previous = nodes
+    # Radius beyond the graph's diameter covers the weak component.
+    big = extract_neighborhood(tpiin, center, radius=len(companies) + 10)
+    from repro.graph.traversal import weakly_connected_components
+
+    component = next(
+        c for c in weakly_connected_components(tpiin.graph) if center in c
+    )
+    assert set(big.graph.nodes()) == component
+
+
+@settings(max_examples=60, deadline=None)
+@given(tpiin=tpiins())
+def test_minimal_groups_invariants(tpiin):
+    """Minimal filtering keeps every arc and only non-dominated groups."""
+    from repro.mining.groups import minimal_groups
+
+    groups = detect(tpiin).groups
+    minimal = minimal_groups(groups)
+    assert {g.trading_arc for g in minimal} == {g.trading_arc for g in groups}
+    chosen = set(map(id, minimal))
+    by_arc: dict = {}
+    for group in groups:
+        by_arc.setdefault(group.trading_arc, []).append(group)
+    for group in groups:
+        dominated = any(
+            other is not group and other.members < group.members
+            for other in by_arc[group.trading_arc]
+        )
+        assert (id(group) in chosen) == (not dominated)

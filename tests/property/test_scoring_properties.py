@@ -1,0 +1,66 @@
+"""Properties of the suspicion scoring layer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mining.detector import detect
+from repro.weights.scoring import (
+    WeightConfig,
+    rank_groups,
+    rank_trading_arcs,
+    score_group,
+    score_trading_arc,
+)
+
+from .strategies import tpiins
+
+
+@settings(max_examples=80, deadline=None)
+@given(tpiin=tpiins())
+def test_scores_bounded(tpiin):
+    result = detect(tpiin)
+    for group in result.groups:
+        score = score_group(group, tpiin)
+        assert 0.0 < score <= 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(tpiin=tpiins())
+def test_noisy_or_bounded_and_monotone(tpiin):
+    result = detect(tpiin)
+    by_arc: dict = {}
+    for group in result.groups:
+        by_arc.setdefault(group.trading_arc, []).append(group)
+    for groups in by_arc.values():
+        full = score_trading_arc(groups, tpiin)
+        assert 0.0 <= full <= 1.0
+        partial = score_trading_arc(groups[:1], tpiin)
+        assert full >= partial - 1e-12
+
+
+@settings(max_examples=60, deadline=None)
+@given(tpiin=tpiins())
+def test_rankings_sorted_and_complete(tpiin):
+    result = detect(tpiin)
+    ranked_groups = rank_groups(result, tpiin)
+    assert len(ranked_groups) == len(result.groups)
+    scores = [s for s, _g in ranked_groups]
+    assert scores == sorted(scores, reverse=True)
+    ranked_arcs = rank_trading_arcs(result, tpiin)
+    assert {arc for _s, arc in ranked_arcs} == result.suspicious_trading_arcs
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    tpiin=tpiins(),
+    hop=st.floats(min_value=0.1, max_value=1.0),
+)
+def test_weaker_hops_never_raise_scores(tpiin, hop):
+    result = detect(tpiin)
+    strong = WeightConfig()
+    weak = WeightConfig(person_influence=hop, investment_hop=hop * 0.85)
+    for group in result.groups[:10]:
+        assert (
+            score_group(group, tpiin, weak)
+            <= score_group(group, tpiin, strong) + 1e-9
+        )

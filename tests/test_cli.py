@@ -1,0 +1,138 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_subcommands_present(self):
+        parser = build_parser()
+        for argv in (
+            ["generate"],
+            ["mine", "a.csv", "n.csv"],
+            ["table1"],
+            ["investigate", "C00000"],
+        ):
+            assert parser.parse_args(argv).command == argv[0]
+
+
+class TestCommands:
+    def test_generate_and_mine(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main(
+            [
+                "generate",
+                "--out",
+                str(tmp_path / "net"),
+                "--companies",
+                "80",
+                "--seed",
+                "5",
+                "--probability",
+                "0.02",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "persons=" in out
+        arcs = tmp_path / "net.arcs.csv"
+        nodes = tmp_path / "net.nodes.csv"
+        assert arcs.exists() and nodes.exists()
+
+        code = main(
+            [
+                "mine",
+                str(arcs),
+                str(nodes),
+                "--engine",
+                "fast",
+                "--out-dir",
+                str(tmp_path / "out"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine=fast" in out
+        assert (tmp_path / "out" / "detection.json").exists()
+
+    def test_table1_small(self, capsys):
+        code = main(
+            [
+                "table1",
+                "--companies",
+                "80",
+                "--seed",
+                "5",
+                "--probabilities",
+                "0.02",
+                "0.05",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "p(trade)" in out
+        assert out.count("100%") >= 4  # two accuracy columns x two rows
+
+
+class TestNewCommands:
+    def test_twophase(self, tmp_path, capsys):
+        code = main(
+            [
+                "twophase",
+                "--companies",
+                "80",
+                "--seed",
+                "5",
+                "--report",
+                str(tmp_path / "audit.md"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "precision" in out
+        report = (tmp_path / "audit.md").read_text()
+        assert "## ITE-phase outcome" in report
+
+    def test_ingest(self, tmp_path, capsys):
+        from repro.datagen.config import ProvinceConfig
+        from repro.datagen.province import generate_province
+        from repro.io.registry_io import write_registry_csvs
+
+        dataset = generate_province(ProvinceConfig.small(companies=50, seed=6))
+        write_registry_csvs(dataset, tmp_path / "registry", trading_probability=0.05)
+        code = main(
+            [
+                "ingest",
+                str(tmp_path / "registry"),
+                "--engine",
+                "fast",
+                "--out-dir",
+                str(tmp_path / "out"),
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "out" / "detection.json").exists()
+
+    def test_investigate(self, capsys):
+        code = main(
+            [
+                "investigate",
+                "C00001",
+                "--companies",
+                "100",
+                "--seed",
+                "8",
+                "--probability",
+                "0.03",
+                "--explain",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Affiliated transaction analysis: C00001" in out
+        assert "Investment tree" in out

@@ -1,0 +1,24 @@
+"""Run the executable examples embedded in docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.analysis.reporting
+import repro.graph.digraph
+import repro.model.roles
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        repro.analysis.reporting,
+        repro.graph.digraph,
+        repro.model.roles,
+    ],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0  # the docstrings really carry examples

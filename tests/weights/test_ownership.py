@@ -1,0 +1,152 @@
+"""Unit tests for the shareholding register and effective control."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.weights.ownership import (
+    ShareholdingRegister,
+    derive_investment_graph,
+    effective_control,
+    stake_arc_weights,
+)
+
+
+def chain_register() -> ShareholdingRegister:
+    """p owns 80% of A; A owns 60% of B; B owns 100% of C."""
+    reg = ShareholdingRegister()
+    reg.add_stake("p", "A", 0.8)
+    reg.add_stake("A", "B", 0.6)
+    reg.add_stake("B", "C", 1.0)
+    return reg
+
+
+class TestRegister:
+    def test_accumulating_purchases(self):
+        reg = ShareholdingRegister()
+        reg.add_stake("p", "A", 0.3)
+        reg.add_stake("p", "A", 0.2)
+        assert reg.stake("p", "A") == pytest.approx(0.5)
+
+    def test_totals_capped_at_100_percent(self):
+        reg = ShareholdingRegister()
+        reg.add_stake("p", "A", 0.7)
+        with pytest.raises(ValidationError, match="100%"):
+            reg.add_stake("q", "A", 0.4)
+
+    def test_self_ownership_rejected(self):
+        with pytest.raises(ValidationError, match="itself"):
+            ShareholdingRegister().add_stake("A", "A", 0.5)
+
+    def test_fraction_bounds(self):
+        reg = ShareholdingRegister()
+        with pytest.raises(ValidationError):
+            reg.add_stake("p", "A", 0.0)
+        with pytest.raises(ValidationError):
+            reg.add_stake("p", "A", 1.5)
+
+    def test_owners_of_and_entities(self):
+        reg = chain_register()
+        assert reg.owners_of("B") == {"A": 0.6}
+        owners, companies = reg.entities()
+        assert owners == ["p"]
+        assert companies == ["A", "B", "C"]
+        assert len(reg) == 3
+
+
+class TestEffectiveControl:
+    def test_chain_control_multiplies(self):
+        control = effective_control(chain_register())
+        assert control[("p", "A")] == pytest.approx(0.8)
+        assert control[("p", "B")] == pytest.approx(0.48)
+        assert control[("p", "C")] == pytest.approx(0.48)
+        assert control[("A", "C")] == pytest.approx(0.6)
+
+    def test_diamond_control_adds(self):
+        reg = ShareholdingRegister()
+        reg.add_stake("p", "A", 1.0)
+        reg.add_stake("p", "B", 1.0)
+        reg.add_stake("A", "C", 0.5)
+        reg.add_stake("B", "C", 0.5)
+        control = effective_control(reg)
+        assert control[("p", "C")] == pytest.approx(1.0)
+
+    def test_partial_cycle_converges(self):
+        # Mutual 30% cross-holding: the geometric series converges.
+        reg = ShareholdingRegister()
+        reg.add_stake("p", "A", 0.7)
+        reg.add_stake("A", "B", 0.3)
+        reg.add_stake("B", "A", 0.3)
+        control = effective_control(reg)
+        # p's control of A: 0.7 * sum_k (0.09)^k = 0.7 / (1 - 0.09).
+        assert control[("p", "A")] == pytest.approx(0.7 / 0.91)
+
+    def test_full_cycle_is_singular(self):
+        reg = ShareholdingRegister()
+        reg.add_stake("A", "B", 1.0)
+        reg.add_stake("B", "A", 1.0)
+        with pytest.raises(ValidationError, match="singular"):
+            effective_control(reg)
+
+    def test_empty_register(self):
+        assert effective_control(ShareholdingRegister()) == {}
+
+
+class TestDerivation:
+    def test_threshold_filters_direct_stakes(self):
+        gi = derive_investment_graph(chain_register(), threshold=0.5)
+        arcs = {(t, h) for t, h, _c in gi.arcs()}
+        assert arcs == {("A", "B"), ("B", "C")}
+        gi = derive_investment_graph(chain_register(), threshold=0.7)
+        arcs = {(t, h) for t, h, _c in gi.arcs()}
+        assert arcs == {("B", "C")}
+
+    def test_person_stakes_never_become_investment_arcs(self):
+        gi = derive_investment_graph(chain_register(), threshold=0.1)
+        assert not any(t == "p" for t, _h, _c in gi.arcs())
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValidationError):
+            derive_investment_graph(chain_register(), threshold=0.0)
+
+    def test_derived_graph_fuses(self):
+        from repro.fusion.pipeline import fuse
+        from repro.model.colors import InfluenceKind
+        from repro.model.homogeneous import (
+            InfluenceGraph,
+            InterdependenceGraph,
+            TradingGraph,
+        )
+
+        reg = chain_register()
+        gi = derive_investment_graph(reg, threshold=0.5)
+        g2 = InfluenceGraph()
+        for company in ("A", "B", "C"):
+            g2.add_influence(
+                "p", company, InfluenceKind.CEO_OF, legal_person=True
+            )
+        g4 = TradingGraph()
+        g4.add_trade("B", "C")
+        tpiin = fuse(InterdependenceGraph(), g2, gi, g4).tpiin
+        from repro.mining.detector import detect
+
+        result = detect(tpiin)
+        assert ("B", "C") in result.suspicious_trading_arcs
+
+
+class TestScoringIntegration:
+    def test_stake_weights_modulate_scores(self, fig8):
+        from repro.mining.detector import detect
+        from repro.weights.scoring import score_group
+
+        result = detect(fig8)
+        group = next(g for g in result.groups if g.antecedent == "L1")
+        weak = {("C1", "C3"): 0.3, ("C2", "C5"): 0.3}
+        strong = {("C1", "C3"): 0.95, ("C2", "C5"): 0.95}
+        assert score_group(group, fig8, arc_weights=strong) > score_group(
+            group, fig8, arc_weights=weak
+        )
+
+    def test_stake_arc_weights_export(self):
+        weights = stake_arc_weights(chain_register())
+        assert weights[("A", "B")] == pytest.approx(0.6)
+        assert len(weights) == 3

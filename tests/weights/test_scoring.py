@@ -1,0 +1,114 @@
+"""Unit tests for edge weighting and group ranking."""
+
+import pytest
+
+from repro.errors import MiningError
+from repro.mining.detector import detect
+from repro.mining.groups import GroupKind, SuspiciousGroup
+from repro.weights.scoring import (
+    WeightConfig,
+    rank_groups,
+    rank_trading_arcs,
+    score_group,
+    score_trading_arc,
+)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        WeightConfig()
+
+    def test_bad_hop_weight(self):
+        with pytest.raises(MiningError):
+            WeightConfig(investment_hop=0.0)
+        with pytest.raises(MiningError):
+            WeightConfig(person_influence=1.5)
+
+    def test_bad_boost(self):
+        with pytest.raises(MiningError):
+            WeightConfig(syndicate_antecedent_boost=0.5)
+
+
+class TestScoreGroup:
+    def test_scores_in_unit_interval(self, fig8):
+        result = detect(fig8)
+        for group in result.groups:
+            assert 0.0 < score_group(group, fig8) <= 1.0
+
+    def test_longer_chains_score_lower(self, fig8):
+        short = SuspiciousGroup(trading_trail=("B1", "C5", "C6"), support_trail=("B1", "C6"))
+        long = SuspiciousGroup(
+            trading_trail=("L1", "C1", "C3", "C5"), support_trail=("L1", "C2", "C5")
+        )
+        assert score_group(short, fig8) > score_group(long, fig8)
+
+    def test_syndicate_antecedent_boosted(self):
+        from repro.fusion.tpiin import TPIIN
+
+        tpiin = TPIIN.build(
+            persons=["syn:a+b", "L3"],
+            companies=["C5", "C6"],
+            influence=[
+                ("syn:a+b", "C5"),
+                ("syn:a+b", "C6"),
+                ("L3", "C5"),
+                ("L3", "C6"),
+            ],
+            trading=[("C5", "C6")],
+        )
+        config = WeightConfig(
+            syndicate_antecedent_boost=1.15, person_influence=0.9
+        )
+        plain = SuspiciousGroup(
+            trading_trail=("L3", "C5", "C6"), support_trail=("L3", "C6")
+        )
+        boosted = SuspiciousGroup(
+            trading_trail=("syn:a+b", "C5", "C6"), support_trail=("syn:a+b", "C6")
+        )
+        plain_score = score_group(plain, tpiin, config)
+        assert score_group(boosted, tpiin, config) == pytest.approx(
+            min(1.0, plain_score * 1.15)
+        )
+
+    def test_scs_and_circle_kinds(self, fig8):
+        scs = SuspiciousGroup(
+            trading_trail=("a", "b"), support_trail=("a", "b"), kind=GroupKind.SCS
+        )
+        assert score_group(scs, fig8) == pytest.approx(0.95)
+        circle = SuspiciousGroup(
+            trading_trail=("C5", "C6", "C5"),
+            support_trail=("C5",),
+            kind=GroupKind.CIRCLE,
+        )
+        assert 0.0 < score_group(circle, fig8) <= 0.9
+
+
+class TestAggregation:
+    def test_noisy_or_grows_with_groups(self, fig8):
+        result = detect(fig8)
+        one = result.groups[:1]
+        assert score_trading_arc(result.groups, fig8) >= score_trading_arc(one, fig8)
+
+    def test_rankings(self, fig8):
+        result = detect(fig8)
+        ranked_groups = rank_groups(result, fig8)
+        scores = [s for s, _g in ranked_groups]
+        assert scores == sorted(scores, reverse=True)
+        ranked_arcs = rank_trading_arcs(result, fig8)
+        assert len(ranked_arcs) == len(result.suspicious_trading_arcs)
+        arc_scores = [s for s, _a in ranked_arcs]
+        assert arc_scores == sorted(arc_scores, reverse=True)
+
+    def test_empty_groups(self, fig8):
+        assert score_trading_arc([], fig8) == 0.0
+
+
+class TestFloor:
+    def test_floor_clamps_tiny_scores(self, fig8):
+        config = WeightConfig(
+            person_influence=0.001, investment_hop=0.001, floor=1e-4
+        )
+        from repro.mining.detector import detect
+
+        group = detect(fig8).groups[0]
+        assert score_group(group, fig8, config) >= 1e-4

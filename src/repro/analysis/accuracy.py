@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.baseline.global_traversal import global_traversal_detect
 from repro.fusion.tpiin import TPIIN
+from repro.graph.digraph import Node
 from repro.mining.detector import DetectionResult, detect
 from repro.mining.fast import fast_detect
 from repro.mining.oracle import suspicious_arc_oracle
@@ -25,7 +26,7 @@ class AccuracyReport:
     """Pairwise agreement between engines on one TPIIN."""
 
     results: dict[str, DetectionResult] = field(default_factory=dict)
-    oracle_arcs: set = field(default_factory=set)
+    oracle_arcs: set[tuple[Node, Node]] = field(default_factory=set)
     group_agreement: dict[tuple[str, str], bool] = field(default_factory=dict)
     arc_agreement: dict[str, bool] = field(default_factory=dict)
 

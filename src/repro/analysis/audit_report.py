@@ -127,9 +127,24 @@ def write_audit_report(
     path: str | Path,
     tpiin: TPIIN,
     result: DetectionResult,
-    **kwargs,
+    *,
+    two_phase: TwoPhaseResult | None = None,
+    weight_config: WeightConfig | None = None,
+    arc_weights: ArcWeights | None = None,
+    top: int = 10,
+    title: str = "Suspicious tax-evasion group audit",
 ) -> Path:
     """Write :func:`build_audit_report` output to ``path``."""
     path = Path(path)
-    path.write_text(build_audit_report(tpiin, result, **kwargs))
+    path.write_text(
+        build_audit_report(
+            tpiin,
+            result,
+            two_phase=two_phase,
+            weight_config=weight_config,
+            arc_weights=arc_weights,
+            top=top,
+            title=title,
+        )
+    )
     return path

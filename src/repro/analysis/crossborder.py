@@ -28,7 +28,7 @@ class CrossBorderScreen:
     cross_border_arcs: list[tuple[Node, Node]] = field(default_factory=list)
     domestic_arcs: list[tuple[Node, Node]] = field(default_factory=list)
     unknown_region_arcs: list[tuple[Node, Node]] = field(default_factory=list)
-    corridor_counts: Counter = field(default_factory=Counter)
+    corridor_counts: Counter[tuple[str, str]] = field(default_factory=Counter)
 
     @property
     def cross_border_share(self) -> float:
@@ -40,9 +40,13 @@ class CrossBorderScreen:
         return len(self.cross_border_arcs) / total if total else 0.0
 
     def render(self, *, top: int = 8) -> str:
+        total = (
+            len(self.cross_border_arcs)
+            + len(self.domestic_arcs)
+            + len(self.unknown_region_arcs)
+        )
         lines = [
-            f"suspicious trading relationships: "
-            f"{len(self.cross_border_arcs) + len(self.domestic_arcs) + len(self.unknown_region_arcs)}",
+            f"suspicious trading relationships: {total}",
             f"  cross-border: {len(self.cross_border_arcs)} "
             f"({100 * self.cross_border_share:.1f}%)",
             f"  domestic:     {len(self.domestic_arcs)}",

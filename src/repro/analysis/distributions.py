@@ -23,10 +23,10 @@ __all__ = ["DetectionDistributions", "compute_distributions"]
 class DetectionDistributions:
     """Histograms and top-k lists summarizing one detection run."""
 
-    group_size_histogram: Counter = field(default_factory=Counter)
-    trail_length_histogram: Counter = field(default_factory=Counter)
-    groups_per_arc_histogram: Counter = field(default_factory=Counter)
-    kind_counts: Counter = field(default_factory=Counter)
+    group_size_histogram: Counter[int] = field(default_factory=Counter)
+    trail_length_histogram: Counter[int] = field(default_factory=Counter)
+    groups_per_arc_histogram: Counter[int] = field(default_factory=Counter)
+    kind_counts: Counter[GroupKind] = field(default_factory=Counter)
     top_antecedents: list[tuple[Node, int]] = field(default_factory=list)
     top_arcs: list[tuple[tuple[Node, Node], int]] = field(default_factory=list)
 
@@ -93,8 +93,8 @@ def compute_distributions(
 ) -> DetectionDistributions:
     """Summarize ``result`` (requires a group-collecting run)."""
     dist = DetectionDistributions()
-    per_arc: Counter = Counter()
-    per_antecedent: Counter = Counter()
+    per_arc: Counter[tuple[Node, Node]] = Counter()
+    per_antecedent: Counter[Node] = Counter()
     for group in result.groups:
         dist.group_size_histogram[len(group.members)] += 1
         dist.trail_length_histogram[len(group.trading_trail)] += 1

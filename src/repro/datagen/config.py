@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import DataGenError
 
-__all__ = ["ProvinceConfig", "TradingConfig", "PAPER_TRADING_PROBABILITIES"]
+__all__ = ["ClusterPlan", "ProvinceConfig", "TradingConfig", "PAPER_TRADING_PROBABILITIES"]
 
 
 #: The twenty trading-probability settings of Table 1.

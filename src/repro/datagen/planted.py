@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.errors import DataGenError
 from repro.fusion.tpiin import TPIIN
+from repro.graph.digraph import Node
 from repro.mining.detector import DetectionResult
 from repro.model.colors import InfluenceKind, InterdependenceKind
 from repro.model.homogeneous import (
@@ -48,7 +49,7 @@ class PlantedRing:
     companies: tuple[str, ...]
     trading_arc: tuple[str, str]
 
-    def expected_members(self, tpiin: TPIIN) -> frozenset:
+    def expected_members(self, tpiin: TPIIN) -> frozenset[Node]:
         """The group membership after fusion (persons may have merged)."""
         mapped = {tpiin.node_map.get(p, p) for p in self.persons}
         return frozenset(mapped) | frozenset(self.companies)
@@ -96,7 +97,13 @@ def _director(influence: InfluenceGraph, person: str, company: str) -> None:
     influence.add_influence(person, company, InfluenceKind.D_OF)
 
 
-def _triangle(tag, g1, g2, gi, g4) -> PlantedRing:
+def _triangle(
+    tag: str,
+    g1: InterdependenceGraph,
+    g2: InfluenceGraph,
+    gi: InvestmentGraph,
+    g4: TradingGraph,
+) -> PlantedRing:
     """Fig. 3(a) with a person antecedent: P -> X, P -> Y, trade X -> Y."""
     p, x, y = f"{tag}_P", f"{tag}_X", f"{tag}_Y"
     _lp(g2, p, x)
@@ -105,7 +112,13 @@ def _triangle(tag, g1, g2, gi, g4) -> PlantedRing:
     return PlantedRing(tag, "triangle", (p,), (x, y), (x, y))
 
 
-def _interlocking(tag, g1, g2, gi, g4) -> PlantedRing:
+def _interlocking(
+    tag: str,
+    g1: InterdependenceGraph,
+    g2: InfluenceGraph,
+    gi: InvestmentGraph,
+    g4: TradingGraph,
+) -> PlantedRing:
     """Fig. 3(b): interlocked directors merge into the antecedent B."""
     b1, b2 = f"{tag}_B1", f"{tag}_B2"
     x, y = f"{tag}_X", f"{tag}_Y"
@@ -116,7 +129,13 @@ def _interlocking(tag, g1, g2, gi, g4) -> PlantedRing:
     return PlantedRing(tag, "interlocking", (b1, b2), (x, y), (x, y))
 
 
-def _quadrilateral(tag, g1, g2, gi, g4) -> PlantedRing:
+def _quadrilateral(
+    tag: str,
+    g1: InterdependenceGraph,
+    g2: InfluenceGraph,
+    gi: InvestmentGraph,
+    g4: TradingGraph,
+) -> PlantedRing:
     """P -> H -> X (investment), P -> Y; trade X -> Y."""
     p = f"{tag}_P"
     h, x, y = f"{tag}_H", f"{tag}_X", f"{tag}_Y"
@@ -128,7 +147,13 @@ def _quadrilateral(tag, g1, g2, gi, g4) -> PlantedRing:
     return PlantedRing(tag, "quadrilateral", (p,), (h, x, y), (x, y))
 
 
-def _pentagon(tag, g1, g2, gi, g4) -> PlantedRing:
+def _pentagon(
+    tag: str,
+    g1: InterdependenceGraph,
+    g2: InfluenceGraph,
+    gi: InvestmentGraph,
+    g4: TradingGraph,
+) -> PlantedRing:
     """P -> H1 -> X and P -> H2 -> Y; trade X -> Y."""
     p = f"{tag}_P"
     h1, h2, x, y = (f"{tag}_H1", f"{tag}_H2", f"{tag}_X", f"{tag}_Y")
@@ -142,7 +167,13 @@ def _pentagon(tag, g1, g2, gi, g4) -> PlantedRing:
     return PlantedRing(tag, "pentagon", (p,), (h1, h2, x, y), (x, y))
 
 
-def _hexagon(tag, g1, g2, gi, g4) -> PlantedRing:
+def _hexagon(
+    tag: str,
+    g1: InterdependenceGraph,
+    g2: InfluenceGraph,
+    gi: InvestmentGraph,
+    g4: TradingGraph,
+) -> PlantedRing:
     """P -> H1 -> H2 -> X and P -> H3 -> Y; trade X -> Y."""
     p = f"{tag}_P"
     h1, h2, h3 = f"{tag}_H1", f"{tag}_H2", f"{tag}_H3"

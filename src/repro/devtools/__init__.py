@@ -1,0 +1,45 @@
+"""Project-specific static analysis for the TPIIN pipeline.
+
+``repro.devtools`` ships **reprolint**, a small AST-based linter whose
+rules machine-check the paper invariants and hot-path disciplines that
+otherwise live only in docstrings:
+
+* trading arcs are company->company and colors are enums, never raw
+  strings (R008);
+* deep TPIINs must never blow the interpreter stack, so traversal in
+  :mod:`repro.graph`, :mod:`repro.fusion` and :mod:`repro.mining` is
+  iterative (R002);
+* datasets are reproducible from one integer, so every random stream
+  derives from :mod:`repro.datagen.rng` (R001);
+* the hot-path dataclasses stay allocation-lean via ``slots=True``
+  (R003);
+
+plus general hygiene gates (R004-R007, R009).  See
+``docs/DEVTOOLS.md`` for the full rule catalogue.
+
+Run it as ``repro-lint src`` (console script) or programmatically::
+
+    from repro.devtools import lint_paths
+
+    report = lint_paths(["src"])
+    for diag in report.diagnostics:
+        print(diag.render())
+"""
+
+from repro.devtools.diagnostics import Diagnostic
+from repro.devtools.render import render_human, render_json
+from repro.devtools.rulebase import FileContext, Rule, all_rules, get_rule
+from repro.devtools.walker import LintReport, lint_file, lint_paths
+
+__all__ = [
+    "Diagnostic",
+    "FileContext",
+    "LintReport",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "lint_file",
+    "lint_paths",
+    "render_human",
+    "render_json",
+]

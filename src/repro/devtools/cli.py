@@ -1,0 +1,81 @@
+"""``repro-lint`` console script.
+
+Exit codes: 0 clean, 1 findings, 2 usage error (argparse).  The human
+renderer is the default; ``--json`` emits the stable machine form used
+by CI annotations and editor integrations.
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections.abc import Sequence
+
+from repro.devtools.render import render_human, render_json
+from repro.devtools.rulebase import Rule, all_rules
+from repro.devtools.walker import lint_paths
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "reprolint: project-specific static analysis for the TPIIN "
+            "pipeline (paper-invariant rules R001-R009)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the JSON report instead of text"
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    return parser
+
+
+def _select_rules(spec: str | None, parser: argparse.ArgumentParser) -> tuple[Rule, ...]:
+    rules = all_rules()
+    if spec is None:
+        return rules
+    wanted = {part.strip().upper() for part in spec.split(",") if part.strip()}
+    if not wanted:
+        parser.error("--select given without any rule ids")
+    known = {rule.rule_id for rule in rules}
+    unknown = sorted(wanted - known)
+    if unknown:
+        parser.error(f"unknown rule id(s): {', '.join(unknown)}")
+    return tuple(rule for rule in rules if rule.rule_id in wanted)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.title}")
+        return 0
+
+    rules = _select_rules(args.select, parser)
+    try:
+        report = lint_paths(args.paths, rules)
+    except OSError as exc:
+        parser.error(str(exc))
+    print(render_json(report) if args.json else render_human(report))
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,44 @@
+"""Structured lint findings.
+
+A :class:`Diagnostic` pins one rule violation to a ``file:line:col``
+location and carries a human message plus a machine-actionable fix
+hint, so both renderers (human and JSON) work from the same record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Diagnostic"]
+
+
+@dataclass(frozen=True, slots=True)
+class Diagnostic:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    hint: str = ""
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def render(self) -> str:
+        """``path:line:col: RXXX message (fix: hint)`` single-line form."""
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+        if self.hint:
+            text += f" (fix: {self.hint})"
+        return text
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule_id": self.rule_id,
+            "message": self.message,
+            "hint": self.hint,
+        }

@@ -1,0 +1,123 @@
+"""Rule protocol, per-file analysis context and the rule registry.
+
+A rule is a stateless object with a ``rule_id``, a one-line ``title``,
+and a ``check`` method that walks one file's AST and yields
+:class:`~repro.devtools.diagnostics.Diagnostic` records.  Rules are
+registered at import time via :func:`register` so the walker and the
+CLI discover them without hand-maintained lists.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+from typing import Protocol, runtime_checkable
+
+from repro.devtools.diagnostics import Diagnostic
+
+__all__ = [
+    "FileContext",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "register",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class FileContext:
+    """Everything a rule may inspect about one source file.
+
+    ``display_path`` is the path as reported in diagnostics (normally
+    the path the walker was invoked with, POSIX-style); rules scope
+    themselves by its components, so fixture trees can opt into
+    package-scoped rules by mirroring the package layout (for example
+    a fixture under ``fixtures/R002/mining/bad.py`` is linted as if it
+    lived in :mod:`repro.mining`).
+    """
+
+    display_path: str
+    text: str
+    tree: ast.Module
+    _parts: tuple[str, ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_parts", PurePosixPath(self.display_path).parts)
+
+    @property
+    def filename(self) -> str:
+        return self._parts[-1] if self._parts else self.display_path
+
+    def in_package(self, *names: str) -> bool:
+        """True when any *directory* component matches one of ``names``."""
+        return any(part in names for part in self._parts[:-1])
+
+    def path_endswith(self, *suffixes: str) -> bool:
+        """True when the display path ends with one of the ``/``-suffixes."""
+        path = PurePosixPath(self.display_path).as_posix()
+        return any(path == s or path.endswith("/" + s) for s in suffixes)
+
+    def diagnostic(
+        self,
+        node: ast.AST | None,
+        rule_id: str,
+        message: str,
+        hint: str = "",
+    ) -> Diagnostic:
+        """Build a diagnostic anchored at ``node`` (or line 1 for the file)."""
+        line = getattr(node, "lineno", 1) if node is not None else 1
+        col = getattr(node, "col_offset", 0) if node is not None else 0
+        return Diagnostic(
+            path=self.display_path,
+            line=line,
+            col=col + 1,
+            rule_id=rule_id,
+            message=message,
+            hint=hint,
+        )
+
+
+@runtime_checkable
+class Rule(Protocol):
+    """The reprolint rule interface."""
+
+    rule_id: str
+    title: str
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        """Yield every violation of this rule found in ``ctx``."""
+        ...
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: type) -> type:
+    """Class decorator: instantiate and index a rule by its ``rule_id``."""
+    rule = cls()
+    if not isinstance(rule, Rule):
+        raise TypeError(f"{cls.__name__} does not implement the Rule protocol")
+    if rule.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.rule_id}")
+    _REGISTRY[rule.rule_id] = rule
+    return cls
+
+
+def _load_catalogue() -> None:
+    # Importing the rules module runs its @register decorators; lazy so
+    # rulebase <-> rules stays an acyclic import graph at module level.
+    import repro.devtools.rules  # noqa: F401
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """Every registered rule, ordered by rule id."""
+    _load_catalogue()
+    return tuple(_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY))
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look one rule up by id (raises ``KeyError`` for unknown ids)."""
+    _load_catalogue()
+    return _REGISTRY[rule_id]

@@ -1,0 +1,147 @@
+"""File/package walker: collect sources, run rules, apply suppressions.
+
+Suppression is per line and per rule: a trailing
+``# reprolint: disable=R001`` (comma-separate several ids, or use
+``all``) silences matching diagnostics anchored on that line.  Files
+that fail to parse yield a single ``R000`` parse-error diagnostic so a
+broken tree can never slip through as "clean".
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.devtools.diagnostics import Diagnostic
+from repro.devtools.rulebase import FileContext, Rule, all_rules
+
+__all__ = [
+    "PARSE_ERROR_ID",
+    "LintReport",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "suppressed_rules",
+]
+
+PARSE_ERROR_ID = "R000"
+
+_SUPPRESSION = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9,\s]+)")
+
+
+@dataclass(frozen=True, slots=True)
+class LintReport:
+    """All diagnostics of one run plus the file census."""
+
+    diagnostics: tuple[Diagnostic, ...]
+    files_checked: int
+    suppressed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics
+
+    def by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for diag in self.diagnostics:
+            counts[diag.rule_id] = counts.get(diag.rule_id, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files and directories into a sorted, de-duplicated file list."""
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        elif path.is_file():
+            candidates = [path]
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+
+def suppressed_rules(text: str) -> dict[int, frozenset[str]]:
+    """Line -> rule ids silenced on that line (``all`` matches any rule)."""
+    table: dict[int, frozenset[str]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = _SUPPRESSION.search(line)
+        if match is not None:
+            ids = frozenset(
+                part.strip().upper() for part in match.group(1).split(",") if part.strip()
+            )
+            if ids:
+                table[lineno] = ids
+    return table
+
+
+@dataclass(frozen=True, slots=True)
+class _FileResult:
+    diagnostics: tuple[Diagnostic, ...]
+    suppressed: int
+
+
+def _lint_source(
+    display_path: str, text: str, rules: Sequence[Rule]
+) -> _FileResult:
+    try:
+        tree = ast.parse(text)
+    except SyntaxError as exc:
+        diag = Diagnostic(
+            path=display_path,
+            line=exc.lineno or 1,
+            col=(exc.offset or 0) or 1,
+            rule_id=PARSE_ERROR_ID,
+            message=f"file does not parse: {exc.msg}",
+            hint="fix the syntax error; unparseable files are never clean",
+        )
+        return _FileResult((diag,), 0)
+
+    ctx = FileContext(display_path=display_path, text=text, tree=tree)
+    table = suppressed_rules(text)
+    kept: list[Diagnostic] = []
+    dropped = 0
+    for rule in rules:
+        for diag in rule.check(ctx):
+            silenced = table.get(diag.line, frozenset())
+            if diag.rule_id in silenced or "ALL" in silenced:
+                dropped += 1
+            else:
+                kept.append(diag)
+    kept.sort(key=Diagnostic.sort_key)
+    return _FileResult(tuple(kept), dropped)
+
+
+def lint_file(path: str | Path, rules: Sequence[Rule] | None = None) -> list[Diagnostic]:
+    """Lint one file and return its (suppression-filtered) diagnostics."""
+    chosen = all_rules() if rules is None else tuple(rules)
+    text = Path(path).read_text(encoding="utf-8")
+    display = Path(path).as_posix()
+    return list(_lint_source(display, text, chosen).diagnostics)
+
+
+def lint_paths(
+    paths: Iterable[str | Path], rules: Sequence[Rule] | None = None
+) -> LintReport:
+    """Lint files and directory trees; directories are walked recursively."""
+    chosen = all_rules() if rules is None else tuple(rules)
+    diagnostics: list[Diagnostic] = []
+    files = 0
+    suppressed = 0
+    for path in iter_python_files(paths):
+        files += 1
+        text = path.read_text(encoding="utf-8")
+        result = _lint_source(path.as_posix(), text, chosen)
+        diagnostics.extend(result.diagnostics)
+        suppressed += result.suppressed
+    diagnostics.sort(key=Diagnostic.sort_key)
+    return LintReport(
+        diagnostics=tuple(diagnostics), files_checked=files, suppressed=suppressed
+    )

@@ -7,6 +7,21 @@ still distinguishing the common failure families.
 
 from __future__ import annotations
 
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "NodeNotFoundError",
+    "ArcNotFoundError",
+    "DuplicateNodeError",
+    "ValidationError",
+    "NotADagError",
+    "FusionError",
+    "MiningError",
+    "DataGenError",
+    "EvaluationError",
+    "SerializationError",
+]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the :mod:`repro` package."""

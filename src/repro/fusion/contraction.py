@@ -31,6 +31,8 @@ __all__ = [
     "contract_interdependence",
     "contract_edge_once",
     "default_syndicate_namer",
+    "fully_contract_by_edges",
+    "apply_node_map",
 ]
 
 
@@ -231,6 +233,8 @@ def _interim_namer(members: frozenset[Node]) -> str:
     return "interim:" + "+".join(sorted(str(m) for m in members))
 
 
-def apply_node_map(arcs: Iterable[tuple[Node, Node]], node_map: dict[Node, Node]) -> list[tuple[Node, Node]]:
+def apply_node_map(
+    arcs: Iterable[tuple[Node, Node]], node_map: dict[Node, Node]
+) -> list[tuple[Node, Node]]:
     """Remap arc endpoints through a contraction node map."""
     return [(node_map.get(t, t), node_map.get(h, h)) for t, h in arcs]

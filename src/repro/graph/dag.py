@@ -25,6 +25,7 @@ __all__ = [
     "enumerate_paths_from",
     "count_paths_from_roots",
     "ancestor_closure",
+    "path_arcs",
 ]
 
 

@@ -28,6 +28,7 @@ __all__ = [
     "descendants",
     "ancestors",
     "has_path",
+    "restricted_reachable",
 ]
 
 

@@ -12,7 +12,9 @@ round-trip all of it through one JSON document.
 from __future__ import annotations
 
 import json
+from collections.abc import Callable
 from pathlib import Path
+from typing import Any
 
 from repro.errors import SerializationError
 from repro.fusion.tpiin import TPIIN
@@ -24,7 +26,7 @@ __all__ = ["write_tpiin_bundle", "read_tpiin_bundle", "BUNDLE_FORMAT_VERSION"]
 BUNDLE_FORMAT_VERSION = 1
 
 
-def _graph_payload(graph: DiGraph) -> dict:
+def _graph_payload(graph: DiGraph) -> dict[str, Any]:
     return {
         "nodes": [
             [str(node), getattr(graph.node_color(node), "value", graph.node_color(node))]
@@ -37,7 +39,9 @@ def _graph_payload(graph: DiGraph) -> dict:
     }
 
 
-def _graph_from_payload(payload: dict, *, color_lookup) -> DiGraph:
+def _graph_from_payload(
+    payload: dict[str, Any], *, color_lookup: Callable[[str], object]
+) -> DiGraph:
     graph = DiGraph()
     try:
         for node, color in payload["nodes"]:

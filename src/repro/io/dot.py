@@ -11,6 +11,7 @@ from __future__ import annotations
 from pathlib import Path
 
 from repro.fusion.tpiin import TPIIN
+from repro.graph.digraph import Node
 from repro.model.colors import EColor, VColor
 
 __all__ = ["tpiin_to_dot", "write_tpiin_dot"]
@@ -20,7 +21,9 @@ def _quote(value: object) -> str:
     return '"' + str(value).replace('"', r"\"") + '"'
 
 
-def tpiin_to_dot(tpiin: TPIIN, *, highlight_arcs: set[tuple, ] | None = None) -> str:
+def tpiin_to_dot(
+    tpiin: TPIIN, *, highlight_arcs: set[tuple[Node, Node]] | None = None
+) -> str:
     """Render a TPIIN as a DOT digraph string.
 
     ``highlight_arcs`` draws the given trading arcs bold red — handy for
@@ -55,7 +58,7 @@ def write_tpiin_dot(
     tpiin: TPIIN,
     path: str | Path,
     *,
-    highlight_arcs: set[tuple] | None = None,
+    highlight_arcs: set[tuple[Node, Node]] | None = None,
 ) -> Path:
     path = Path(path)
     path.write_text(tpiin_to_dot(tpiin, highlight_arcs=highlight_arcs))

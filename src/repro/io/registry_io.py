@@ -28,8 +28,10 @@ round-trip (tested).
 from __future__ import annotations
 
 import csv
+from collections.abc import Container
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.errors import SerializationError
 from repro.model.colors import AffiliationKind, InfluenceKind, InterdependenceKind
@@ -44,7 +46,16 @@ from repro.model.homogeneous import (
 from repro.model.roles import Role
 from repro.weights.ownership import ShareholdingRegister
 
-__all__ = ["RegistryBundle", "load_registry_csvs", "write_registry_csvs"]
+if TYPE_CHECKING:
+    from repro.datagen.province import ProvincialDataset
+    from repro.fusion.pipeline import FusionResult
+
+__all__ = [
+    "DEFAULT_INVESTMENT_THRESHOLD",
+    "RegistryBundle",
+    "load_registry_csvs",
+    "write_registry_csvs",
+]
 
 _INFLUENCE_KINDS = {
     "legal_person": InfluenceKind.CEO_OF,
@@ -70,19 +81,30 @@ class RegistryBundle:
     shareholdings: ShareholdingRegister = field(default_factory=ShareholdingRegister)
     affiliations: AffiliationGraph = field(default_factory=AffiliationGraph)
 
-    def fuse(self, **kwargs):
+    def fuse(
+        self,
+        *,
+        registry: EntityRegistry | None = None,
+        affiliations: AffiliationGraph | None = None,
+        validate_inputs: bool = True,
+        keep_intermediates: bool = False,
+    ) -> "FusionResult":
         """Convenience: run the fusion pipeline over the loaded graphs."""
         from repro.fusion.pipeline import fuse
 
-        kwargs.setdefault("registry", self.registry)
-        if self.affiliations.number_of_arcs:
-            kwargs.setdefault("affiliations", self.affiliations)
+        if registry is None:
+            registry = self.registry
+        if affiliations is None and self.affiliations.number_of_arcs:
+            affiliations = self.affiliations
         return fuse(
             self.interdependence,
             self.influence,
             self.investment,
             self.trading,
-            **kwargs,
+            affiliations=affiliations,
+            registry=registry,
+            validate_inputs=validate_inputs,
+            keep_intermediates=keep_intermediates,
         )
 
 
@@ -240,7 +262,7 @@ def load_registry_csvs(
 
 
 def _require(
-    node: str, known: dict, filename: str, lineno: int, expected: str
+    node: str, known: Container[str], filename: str, lineno: int, expected: str
 ) -> None:
     if node not in known:
         raise SerializationError(
@@ -249,7 +271,7 @@ def _require(
 
 
 def write_registry_csvs(
-    dataset,
+    dataset: "ProvincialDataset",
     directory: str | Path,
     *,
     trading_probability: float | None = None,

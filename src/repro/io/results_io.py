@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from repro.errors import SerializationError
 from repro.mining.groups import GroupKind, SuspiciousGroup
@@ -63,7 +63,7 @@ def write_sus_files(result: "DetectionResult", directory: Path) -> list[Path]:
     return written
 
 
-def group_to_dict(group: SuspiciousGroup) -> dict:
+def group_to_dict(group: SuspiciousGroup) -> dict[str, Any]:
     return {
         "trading_trail": [str(n) for n in group.trading_trail],
         "support_trail": [str(n) for n in group.support_trail],
@@ -71,7 +71,7 @@ def group_to_dict(group: SuspiciousGroup) -> dict:
     }
 
 
-def group_from_dict(payload: dict) -> SuspiciousGroup:
+def group_from_dict(payload: dict[str, Any]) -> SuspiciousGroup:
     try:
         trading = payload["trading_trail"]
         support = payload["support_trail"]
@@ -108,7 +108,7 @@ def write_detection_json(result: "DetectionResult", path: str | Path) -> Path:
     return path
 
 
-def read_detection_json(path: str | Path) -> dict:
+def read_detection_json(path: str | Path) -> dict[str, Any]:
     """Load a detection JSON back into a plain dictionary.
 
     Groups are revived as :class:`SuspiciousGroup` under the ``groups``

@@ -91,7 +91,9 @@ def _arrow(
     )
 
 
-def _shrink(x1, y1, x2, y2, margin=22.0):
+def _shrink(
+    x1: float, y1: float, x2: float, y2: float, margin: float = 22.0
+) -> tuple[float, float, float, float]:
     """Pull the endpoint back so arrowheads sit outside node shapes."""
     dx, dy = x2 - x1, y2 - y1
     norm = max((dx * dx + dy * dy) ** 0.5, 1.0)

@@ -24,7 +24,13 @@ from repro.ite.transactions import (
     Transaction,
 )
 
-__all__ = ["TransactionVerdict", "adjudicate_transaction", "adjudicate_company"]
+__all__ = [
+    "ENTERPRISE_INCOME_TAX_RATE",
+    "CompanyVerdict",
+    "TransactionVerdict",
+    "adjudicate_transaction",
+    "adjudicate_company",
+]
 
 #: Chinese enterprise income tax rate, used to turn taxable-income
 #: adjustments into recovered tax.

@@ -37,7 +37,7 @@ from repro.mining.segmentation import segment
 __all__ = ["DetectionResult", "SubTPIINResult", "detect"]
 
 
-@dataclass
+@dataclass(slots=True)
 class SubTPIINResult:
     """Per-subTPIIN mining outcome (the paper's ``susGroup(i)`` content)."""
 
@@ -52,7 +52,7 @@ class SubTPIINResult:
         return {g.trading_arc for g in self.groups}
 
 
-@dataclass
+@dataclass(slots=True)
 class DetectionResult:
     """Aggregated outcome of Algorithm 1 over a whole TPIIN.
 
@@ -70,7 +70,7 @@ class DetectionResult:
     sub_results: list[SubTPIINResult] = field(default_factory=list)
     simple_count_override: int | None = None
     complex_count_override: int | None = None
-    kind_counts_override: Counter | None = None
+    kind_counts_override: Counter[GroupKind] | None = None
     suspicious_arcs_override: set[tuple[Node, Node]] | None = None
 
     # ------------------------------------------------------------------
@@ -113,7 +113,7 @@ class DetectionResult:
             return 0.0
         return self.suspicious_arc_count / self.total_trading_arcs
 
-    def kind_counts(self) -> Counter:
+    def kind_counts(self) -> Counter[GroupKind]:
         if self.kind_counts_override is not None:
             return self.kind_counts_override
         return Counter(g.kind for g in self.groups)

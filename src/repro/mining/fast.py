@@ -23,6 +23,7 @@ DESIGN.md.
 from __future__ import annotations
 
 from collections import Counter
+from collections.abc import Callable
 
 from repro.fusion.tpiin import TPIIN
 from repro.graph.bitset import RootAncestorIndex
@@ -117,7 +118,7 @@ def paths_between(
 def enumerate_arc_groups(
     graph: DiGraph,
     index: RootAncestorIndex,
-    paths_of,
+    paths_of: Callable[[Node], dict[Node, list[tuple[Node, ...]]]],
     c1: Node,
     c2: Node,
 ) -> list[SuspiciousGroup]:
@@ -176,7 +177,7 @@ def fast_detect(tpiin: TPIIN, *, collect_groups: bool = True) -> DetectionResult
     groups: list[SuspiciousGroup] = []
     simple = 0
     complex_ = 0
-    kinds: Counter = Counter()
+    kinds: Counter[GroupKind] = Counter()
     path_cache: dict[Node, dict[Node, list[tuple[Node, ...]]]] = {}
 
     def paths_of(root: Node) -> dict[Node, list[tuple[Node, ...]]]:

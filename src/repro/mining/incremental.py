@@ -49,7 +49,7 @@ class ArcUpdate:
         return len(self.groups)
 
 
-@dataclass
+@dataclass(slots=True)
 class _ArcState:
     suspicious: bool
     groups: list[SuspiciousGroup] = field(default_factory=list)
@@ -92,7 +92,7 @@ class IncrementalDetector:
         self._arcs: dict[tuple[Node, Node], _ArcState] = {}
         self._simple = 0
         self._complex = 0
-        self._kinds: Counter = Counter()
+        self._kinds: Counter[GroupKind] = Counter()
 
         for arc in tpiin.trading_arcs():
             self.add_trading_arc(*arc)

@@ -91,7 +91,7 @@ class PatternTrail:
         return len(self.nodes) + (1 if self.trading_target is not None else 0)
 
 
-@dataclass
+@dataclass(slots=True)
 class PatternTreeNode:
     """A node of the patterns tree (Fig. 9)."""
 
@@ -100,19 +100,30 @@ class PatternTreeNode:
     children: list["PatternTreeNode"] = field(default_factory=list)
 
     def render(self, indent: int = 0) -> str:
-        marker = "=> " if self.via_trading else ""
-        lines = [" " * indent + marker + str(self.node)]
-        for child in self.children:
-            lines.append(child.render(indent + 2))
+        lines: list[str] = []
+        stack: list[tuple[PatternTreeNode, int]] = [(self, indent)]
+        while stack:
+            current, depth = stack.pop()
+            marker = "=> " if current.via_trading else ""
+            lines.append(" " * depth + marker + str(current.node))
+            stack.extend(
+                (child, depth + 2) for child in reversed(current.children)
+            )
         return "\n".join(lines)
 
     def leaf_count(self) -> int:
-        if not self.children:
-            return 1
-        return sum(child.leaf_count() for child in self.children)
+        count = 0
+        stack: list[PatternTreeNode] = [self]
+        while stack:
+            current = stack.pop()
+            if current.children:
+                stack.extend(current.children)
+            else:
+                count += 1
+        return count
 
 
-@dataclass
+@dataclass(slots=True)
 class PatternsTreeResult:
     """The patterns tree plus its flattened component pattern base."""
 

@@ -12,6 +12,7 @@ mining.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass, field
 
 from repro.fusion.tpiin import TPIIN
@@ -22,7 +23,7 @@ from repro.model.colors import EColor
 __all__ = ["SubTPIIN", "SegmentationResult", "segment"]
 
 
-@dataclass
+@dataclass(slots=True)
 class SubTPIIN:
     """One weakly connected slice of a TPIIN.
 
@@ -53,7 +54,7 @@ class SubTPIIN:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class SegmentationResult:
     """All subTPIINs plus the trading arcs the split dismissed.
 
@@ -70,7 +71,7 @@ class SegmentationResult:
     def number_of_subtpiins(self) -> int:
         return len(self.subtpiins)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[SubTPIIN]:
         return iter(self.subtpiins)
 
 

@@ -64,7 +64,7 @@ def active_in(
     return {t.arc for t in trades if t.overlaps(window_start, window_end)}
 
 
-@dataclass
+@dataclass(slots=True)
 class WindowResult:
     """Detection outcome for one window position."""
 
@@ -124,13 +124,13 @@ def sliding_window_detect(
         )
 
     detector = IncrementalDetector(antecedent, collect_groups=collect_groups)
-    refcount: Counter = Counter()
+    refcount: Counter[tuple[Node, Node]] = Counter()
     previous_suspicious: set[tuple[Node, Node]] = set()
 
     position = start
     while position < end:
         window_end = position + window
-        wanted: Counter = Counter(
+        wanted: Counter[tuple[Node, Node]] = Counter(
             t.arc for t in trades if t.overlaps(position, window_end)
         )
         # Apply deltas against the currently loaded arc multiset.

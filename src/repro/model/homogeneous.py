@@ -35,6 +35,7 @@ __all__ = [
     "InfluenceGraph",
     "InvestmentGraph",
     "TradingGraph",
+    "AffiliationGraph",
 ]
 
 

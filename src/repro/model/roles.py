@@ -33,6 +33,7 @@ __all__ = [
     "REDUCED_ROLE_COMBINATIONS",
     "LEGAL_PERSON_ROLES",
     "reduce_positions",
+    "admissible_legal_person",
 ]
 
 

@@ -30,7 +30,14 @@ from repro.mining.detector import DetectionResult
 from repro.mining.groups import GroupKind, SuspiciousGroup
 from repro.model.colors import VColor
 
-__all__ = ["WeightConfig", "score_group", "score_trading_arc", "rank_groups", "rank_trading_arcs"]
+__all__ = [
+    "ArcWeights",
+    "WeightConfig",
+    "score_group",
+    "score_trading_arc",
+    "rank_groups",
+    "rank_trading_arcs",
+]
 
 
 @dataclass(frozen=True, slots=True)

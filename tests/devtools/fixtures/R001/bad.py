@@ -1,0 +1,11 @@
+import random  # line 1: stdlib random import
+
+import numpy as np
+from numpy import random as npr
+
+
+def sample():
+    rng = np.random.default_rng()  # line 8: unseeded default_rng
+    np.random.shuffle([1, 2, 3])  # line 9: legacy global-state fn
+    npr.rand(3)  # line 10: legacy fn through alias
+    return rng, random.random()

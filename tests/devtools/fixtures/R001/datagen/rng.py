@@ -1,0 +1,12 @@
+"""Mirrors repro/datagen/rng.py: the one module allowed raw entropy."""
+
+import random
+
+import numpy as np
+
+__all__ = ["derive"]
+
+
+def derive() -> float:
+    rng = np.random.default_rng()
+    return rng.random() + random.random()

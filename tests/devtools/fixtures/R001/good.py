@@ -1,0 +1,9 @@
+import numpy as np
+
+__all__ = ["sample"]
+
+
+def sample(seed: int) -> np.random.Generator:
+    rng = np.random.default_rng(seed)
+    bitgen = np.random.PCG64(seed)
+    return np.random.Generator(bitgen) if seed % 2 else rng

@@ -1,0 +1,7 @@
+__all__ = ["walk"]
+
+
+def walk(node):
+    # recursion is only banned inside graph/, fusion/, mining/
+    for child in node.children:
+        walk(child)

@@ -1,0 +1,14 @@
+__all__ = ["walk", "Tree"]
+
+
+def walk(node):
+    for child in node.children:
+        walk(child)  # line 6: direct recursion
+
+
+class Tree:
+    def count(self):
+        total = 1
+        for child in self.children:
+            total += child.count()  # line 13: recursion via bare-name receiver
+        return total

@@ -1,0 +1,14 @@
+__all__ = ["walk", "Wrapper"]
+
+
+def walk(root):
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        stack.extend(node.children)
+
+
+class Wrapper:
+    def nodes(self):
+        # delegation through an attribute chain is not recursion
+        return self.graph.nodes()

@@ -1,0 +1,10 @@
+from dataclasses import dataclass
+
+__all__ = ["Record"]
+
+
+@dataclass
+class Record:
+    """slots is only mandated inside graph/ and mining/."""
+
+    value: int

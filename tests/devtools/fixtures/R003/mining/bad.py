@@ -1,0 +1,24 @@
+import dataclasses
+from dataclasses import dataclass
+
+__all__ = ["Bare", "FrozenOnly", "SlotsOff", "Qualified"]
+
+
+@dataclass
+class Bare:  # line 7: bare decorator
+    node: str
+
+
+@dataclass(frozen=True)
+class FrozenOnly:  # line 12: call form without slots
+    node: str
+
+
+@dataclass(slots=False)
+class SlotsOff:  # line 17: slots explicitly disabled
+    node: str
+
+
+@dataclasses.dataclass
+class Qualified:  # line 22: qualified bare decorator
+    node: str

@@ -1,0 +1,17 @@
+from dataclasses import dataclass
+
+__all__ = ["Lean", "LeanFrozen", "Plain"]
+
+
+@dataclass(slots=True)
+class Lean:
+    node: str
+
+
+@dataclass(frozen=True, slots=True)
+class LeanFrozen:
+    node: str
+
+
+class Plain:
+    """Non-dataclass classes are out of scope."""

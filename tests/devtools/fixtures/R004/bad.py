@@ -1,0 +1,13 @@
+__all__ = [
+    "exported_but_missing",  # phantom export
+    "helper",
+    "helper",  # duplicate entry
+]
+
+
+def helper():
+    return 1
+
+
+def forgotten():  # line 12: public but not exported
+    return 2

@@ -1,0 +1,2 @@
+def visible():
+    return 1

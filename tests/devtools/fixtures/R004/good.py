@@ -1,0 +1,15 @@
+import json
+
+__all__ = ["CONSTANT", "helper", "__version__"]
+
+__version__ = "1.0"
+
+CONSTANT = 3
+
+
+def helper():
+    return json.dumps(CONSTANT)
+
+
+def _private():
+    return 4

@@ -1,0 +1,11 @@
+import networkx  # line 1
+import networkx as nx  # line 2
+from scipy.sparse import csr_matrix  # line 3
+
+__all__ = ["convert"]
+
+
+def convert(graph):
+    import scipy  # line 9: function-level imports are caught too
+
+    return csr_matrix(nx.to_numpy_array(networkx.Graph(graph))), scipy

@@ -1,0 +1,11 @@
+import numpy as np
+from numpy import linalg
+
+__all__ = ["norm"]
+
+
+def norm(values):
+    # 'scipyish' prefixes must not match the banned module names
+    import scipyish  # noqa: F401
+
+    return linalg.norm(np.asarray(values))

@@ -1,0 +1,19 @@
+__all__ = ["load", "tidy"]
+
+
+def load(path):
+    try:
+        return open(path).read()
+    except:  # line 7: bare except
+        return None
+
+
+def tidy(handle):
+    try:
+        handle.close()
+    except Exception:  # line 14: broad + swallowed
+        pass
+    try:
+        handle.flush()
+    except (ValueError, BaseException):  # line 18: broad inside tuple
+        """Docstring-only bodies swallow too."""

@@ -1,0 +1,18 @@
+import logging
+
+__all__ = ["load", "tidy"]
+
+
+def load(path, cache):
+    try:
+        return cache[path]
+    except KeyError:  # narrow + pass is idiomatic
+        pass
+    return None
+
+
+def tidy(handle):
+    try:
+        handle.close()
+    except Exception as exc:  # broad but handled, not swallowed
+        logging.getLogger(__name__).warning("close failed: %s", exc)

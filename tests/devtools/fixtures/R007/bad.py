@@ -1,0 +1,7 @@
+__all__ = ["report"]
+
+
+def report(groups):
+    print(f"{len(groups)} groups")  # line 5
+    for group in groups:
+        print(group)  # line 7

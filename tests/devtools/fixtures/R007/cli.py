@@ -1,0 +1,6 @@
+__all__ = ["main"]
+
+
+def main():
+    print("cli.py modules are the sanctioned stdout surface")
+    return 0

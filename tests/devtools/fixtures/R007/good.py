@@ -1,0 +1,5 @@
+__all__ = ["report"]
+
+
+def report(groups):
+    return "\n".join(str(group) for group in groups)

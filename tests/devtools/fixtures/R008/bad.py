@@ -1,0 +1,11 @@
+__all__ = ["classify"]
+
+
+def classify(arc_color, node_color):
+    if arc_color == "IN":  # line 5
+        kind = "influence"
+    elif "TR" != arc_color:  # line 7
+        kind = "other"
+    if node_color in ("Person", "Company"):  # line 9 (two findings)
+        kind = "known"
+    return kind

@@ -1,0 +1,14 @@
+from repro.model.colors import EColor, VColor
+
+__all__ = ["classify"]
+
+
+def classify(arc_color, node_color, label):
+    if arc_color == EColor.INFLUENCE:
+        kind = "influence"
+    if node_color in (VColor.PERSON, VColor.COMPANY):
+        kind = "known"
+    # string-to-string comparisons are fine, as are unrelated literals
+    if label == "TRADE" or "IN" == "IN":
+        kind = "literal"
+    return kind

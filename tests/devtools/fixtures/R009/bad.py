@@ -1,0 +1,15 @@
+from dataclasses import dataclass
+
+__all__ = ["Frozen", "thaw"]
+
+
+@dataclass(frozen=True, slots=True)
+class Frozen:
+    score: float
+
+    def rescale(self, factor):
+        object.__setattr__(self, "score", self.score * factor)  # line 11
+
+
+def thaw(record):
+    object.__setattr__(record, "score", 0.0)  # line 15

@@ -1,0 +1,20 @@
+from dataclasses import dataclass, field, replace
+
+__all__ = ["Frozen", "rescaled"]
+
+
+@dataclass(frozen=True, slots=True)
+class Frozen:
+    score: float
+    doubled: float = field(init=False)
+
+    def __post_init__(self):
+        object.__setattr__(self, "doubled", self.score * 2)
+
+    def __setstate__(self, state):
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+
+
+def rescaled(record, factor):
+    return replace(record, score=record.score * factor)

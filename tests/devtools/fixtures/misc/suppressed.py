@@ -1,0 +1,11 @@
+__all__ = ["report", "noisy"]
+
+
+def report(groups):
+    print(len(groups))  # reprolint: disable=R007
+    print("partially silenced")  # reprolint: disable=R001,R007
+
+
+def noisy(groups):
+    print(groups)  # reprolint: disable=all
+    print("wrong rule id does not silence")  # reprolint: disable=R001

@@ -1,0 +1,87 @@
+"""Walker behavior: suppression comments, parse errors, reports, renderers."""
+
+import json
+from pathlib import Path
+
+from repro.devtools import lint_file, lint_paths, render_human, render_json
+from repro.devtools.walker import PARSE_ERROR_ID, iter_python_files, suppressed_rules
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestSuppression:
+    def test_disable_comment_silences_matching_rule(self):
+        diagnostics = lint_file(FIXTURES / "misc" / "suppressed.py")
+        assert [(d.rule_id, d.line) for d in diagnostics] == [("R007", 11)]
+
+    def test_suppressed_count_reported(self):
+        report = lint_paths([FIXTURES / "misc" / "suppressed.py"])
+        assert report.suppressed == 3
+        assert len(report.diagnostics) == 1
+
+    def test_suppression_table_parsing(self):
+        table = suppressed_rules(
+            "x = 1  # reprolint: disable=R001\n"
+            "y = 2\n"
+            "z = 3  # reprolint: disable=R002, R007\n"
+            "w = 4  # reprolint: disable=all\n"
+        )
+        assert table == {
+            1: frozenset({"R001"}),
+            3: frozenset({"R002", "R007"}),
+            4: frozenset({"ALL"}),
+        }
+
+
+class TestParseErrors:
+    def test_unparseable_file_yields_r000(self):
+        diagnostics = lint_file(FIXTURES / "misc" / "unparseable.py")
+        assert len(diagnostics) == 1
+        assert diagnostics[0].rule_id == PARSE_ERROR_ID
+        assert "does not parse" in diagnostics[0].message
+
+    def test_parse_error_marks_report_not_ok(self):
+        report = lint_paths([FIXTURES / "misc" / "unparseable.py"])
+        assert not report.ok
+
+
+class TestWalk:
+    def test_directory_walk_is_recursive_and_counts_files(self):
+        report = lint_paths([FIXTURES / "R002"])
+        assert report.files_checked == 3
+
+    def test_duplicate_inputs_deduplicated(self):
+        path = FIXTURES / "R007" / "bad.py"
+        report = lint_paths([path, path])
+        assert report.files_checked == 1
+
+    def test_iter_python_files_sorted(self):
+        files = list(iter_python_files([FIXTURES / "R001"]))
+        assert files == sorted(files)
+        assert all(f.suffix == ".py" for f in files)
+
+    def test_by_rule_summary(self):
+        report = lint_paths([FIXTURES / "R007" / "bad.py"])
+        assert report.by_rule() == {"R007": 2}
+
+
+class TestRenderers:
+    def test_human_render_clean(self):
+        report = lint_paths([FIXTURES / "R007" / "good.py"])
+        text = render_human(report)
+        assert "1 file(s) clean" in text
+
+    def test_human_render_findings_summary(self):
+        report = lint_paths([FIXTURES / "R007" / "bad.py"])
+        text = render_human(report)
+        assert "R007 x2" in text
+        assert "bad.py:5:" in text
+
+    def test_json_render_round_trips(self):
+        report = lint_paths([FIXTURES / "R007" / "bad.py"])
+        payload = json.loads(render_json(report))
+        assert payload["count"] == 2
+        assert payload["by_rule"] == {"R007": 2}
+        assert payload["files_checked"] == 1
+        first = payload["diagnostics"][0]
+        assert set(first) == {"path", "line", "col", "rule_id", "message", "hint"}

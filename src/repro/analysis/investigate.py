@@ -74,6 +74,26 @@ class CompanyInvestigation:
     suspicious_sales: list[tuple[Node, float]] = field(default_factory=list)
     suspicious_purchases: list[tuple[Node, float]] = field(default_factory=list)
 
+    def to_dict(self) -> dict[str, object]:
+        """A JSON-ready view (the serving daemon's ``/investigate``)."""
+        return {
+            "company": str(self.company),
+            "influencers": [str(n) for n in self.influencers],
+            "investors": [str(n) for n in self.investors],
+            "holdings": [str(n) for n in self.holdings],
+            "affiliated_companies": [str(n) for n in self.affiliated_companies],
+            "group_count": len(self.groups),
+            "groups": [g.render() for g in self.groups],
+            "suspicious_sales": [
+                {"buyer": str(buyer), "score": score}
+                for buyer, score in self.suspicious_sales
+            ],
+            "suspicious_purchases": [
+                {"seller": str(seller), "score": score}
+                for seller, score in self.suspicious_purchases
+            ],
+        }
+
     def render(self, *, max_rows: int = 12) -> str:
         """A Fig. 19-style textual briefing."""
         lines = [f"== Affiliated transaction analysis: {self.company} =="]

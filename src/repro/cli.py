@@ -15,24 +15,38 @@ Subcommands
 ``investigate``
     Print the affiliated-transaction briefing for one company of the
     provincial dataset.
+``serve``
+    Boot the long-lived detection daemon over a TPIIN CSV: JSON API on
+    HTTP, WAL-backed durability under ``--state-dir``.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from pathlib import Path
 
+from repro.analysis.audit_report import write_audit_report
+from repro.analysis.explain import explain_arc
 from repro.analysis.investigate import investigate_company
 from repro.analysis.table1 import run_table1
 from repro.datagen.config import PAPER_TRADING_PROBABILITIES, ProvinceConfig
 from repro.datagen.province import generate_province
 from repro.io.edge_list_io import read_tpiin_csv, write_tpiin_csv
+from repro.io.registry_io import load_registry_csvs
 from repro.io.results_io import write_detection_json
+from repro.ite.pipeline import run_two_phase
+from repro.ite.transactions import SimulationConfig, simulate_transactions
 from repro.mining.detector import detect
 from repro.mining.fast import fast_detect
+from repro.service.config import ServiceConfig
+from repro.service.server import DetectionHTTPServer, serve
+from repro.service.state import DetectionService
 
 __all__ = ["main", "build_parser"]
+
+_ENGINE_CHOICES = ["faithful", "fast", "parallel", "incremental"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -54,7 +68,13 @@ def build_parser() -> argparse.ArgumentParser:
     mine = sub.add_parser("mine", help="mine suspicious groups from a TPIIN CSV")
     mine.add_argument("arcs", type=Path, help="arc CSV (start,end,color)")
     mine.add_argument("nodes", type=Path, help="node CSV (node,color)")
-    mine.add_argument("--engine", default="faithful", choices=["faithful", "fast", "parallel"])
+    mine.add_argument("--engine", default="faithful", choices=_ENGINE_CHOICES)
+    mine.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help="worker count for --engine parallel (default: cpu count)",
+    )
     mine.add_argument("--out-dir", type=Path, default=Path("mining-out"))
 
     table = sub.add_parser("table1", help="run the Table-1 sweep")
@@ -87,8 +107,45 @@ def build_parser() -> argparse.ArgumentParser:
         "ingest", help="mine a registry-CSV directory (persons/companies/relations)"
     )
     ingest.add_argument("directory", type=Path)
-    ingest.add_argument("--engine", default="faithful", choices=["faithful", "fast", "parallel"])
+    ingest.add_argument("--engine", default="faithful", choices=_ENGINE_CHOICES)
+    ingest.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help="worker count for --engine parallel (default: cpu count)",
+    )
     ingest.add_argument("--out-dir", type=Path, default=Path("mining-out"))
+
+    srv = sub.add_parser(
+        "serve", help="run the detection daemon over a TPIIN CSV (JSON API)"
+    )
+    srv.add_argument("arcs", type=Path, help="arc CSV (start,end,color)")
+    srv.add_argument("nodes", type=Path, help="node CSV (node,color)")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8420)
+    srv.add_argument(
+        "--state-dir",
+        type=Path,
+        default=Path("service-state"),
+        help="directory for the WAL and snapshots",
+    )
+    srv.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=500,
+        help="compact (snapshot + WAL truncate) every N applied updates",
+    )
+    srv.add_argument(
+        "--no-fsync",
+        action="store_true",
+        help="skip fsync on WAL appends (faster, loses the last acks on power loss)",
+    )
+    srv.add_argument(
+        "--max-cached-roots",
+        type=int,
+        default=4096,
+        help="LRU capacity of the per-root influence-path cache (0 = unbounded)",
+    )
     return parser
 
 
@@ -118,7 +175,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 def _cmd_mine(args: argparse.Namespace) -> int:
     tpiin = read_tpiin_csv(args.arcs, args.nodes)
     tpiin.validate()
-    result = detect(tpiin, engine=args.engine)
+    result = detect(tpiin, engine=args.engine, processes=args.processes)
     print(result.summary())
     paths = result.write_files(args.out_dir)
     json_path = write_detection_json(result, args.out_dir / "detection.json")
@@ -147,8 +204,6 @@ def _cmd_investigate(args: argparse.Namespace) -> int:
     print("Investment tree:")
     print(investigation.investment_tree(tpiin))
     if args.explain and investigation.groups:
-        from repro.analysis.explain import explain_arc
-
         arcs = sorted({g.trading_arc for g in investigation.groups})
         print()
         for arc in arcs[:5]:
@@ -158,10 +213,6 @@ def _cmd_investigate(args: argparse.Namespace) -> int:
 
 
 def _cmd_twophase(args: argparse.Namespace) -> int:
-    from repro.analysis.audit_report import write_audit_report
-    from repro.ite.pipeline import run_two_phase
-    from repro.ite.transactions import SimulationConfig, simulate_transactions
-
     dataset = generate_province(_province_config(args))
     base = dataset.antecedent_tpiin()
     tpiin = dataset.overlay_trading(base, args.probability)
@@ -184,15 +235,40 @@ def _cmd_twophase(args: argparse.Namespace) -> int:
 
 
 def _cmd_ingest(args: argparse.Namespace) -> int:
-    from repro.io.registry_io import load_registry_csvs
-
     bundle = load_registry_csvs(args.directory)
     tpiin = bundle.fuse().tpiin
-    result = detect(tpiin, engine=args.engine)
+    result = detect(tpiin, engine=args.engine, processes=args.processes)
     print(result.summary())
     paths = result.write_files(args.out_dir)
     json_path = write_detection_json(result, args.out_dir / "detection.json")
     print(f"wrote {len(paths)} sus files and {json_path}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    logging.basicConfig(
+        level=logging.INFO, format="%(asctime)s %(name)s %(levelname)s %(message)s"
+    )
+    tpiin = read_tpiin_csv(args.arcs, args.nodes)
+    tpiin.validate()
+    config = ServiceConfig(
+        state_dir=args.state_dir,
+        host=args.host,
+        port=args.port,
+        snapshot_every=args.snapshot_every,
+        fsync=not args.no_fsync,
+        max_cached_roots=args.max_cached_roots or None,
+    )
+    service = DetectionService.open(tpiin, config)
+    server = DetectionHTTPServer((config.host, config.port), service)
+    host, port = server.server_address[:2]
+    print(
+        f"serving on http://{host}:{port} "
+        f"(state dir {config.state_dir}, arcs {service.arc_count()}, "
+        f"recovered {service.recovered_records} WAL records)"
+    )
+    serve(server)
+    print("daemon drained; state flushed")
     return 0
 
 
@@ -203,6 +279,7 @@ _COMMANDS = {
     "investigate": _cmd_investigate,
     "twophase": _cmd_twophase,
     "ingest": _cmd_ingest,
+    "serve": _cmd_serve,
 }
 
 

@@ -108,7 +108,7 @@ def register(cls: type) -> type:
 def _load_catalogue() -> None:
     # Importing the rules module runs its @register decorators; lazy so
     # rulebase <-> rules stays an acyclic import graph at module level.
-    import repro.devtools.rules  # noqa: F401
+    import repro.devtools.rules  # noqa: F401  # reprolint: disable=R010
 
 
 def all_rules() -> tuple[Rule, ...]:

@@ -1,4 +1,4 @@
-"""The reprolint rule catalogue (R001-R009).
+"""The reprolint rule catalogue (R001-R010).
 
 Each rule machine-checks one invariant of the TPIIN reproduction; the
 invariant and its paper grounding are spelled out in the rule's
@@ -20,6 +20,7 @@ __all__ = [
     "ForbiddenDependencyRule",
     "FrozenMutationRule",
     "NoBareExceptRule",
+    "NoFunctionBodyImportRule",
     "NoPrintRule",
     "NoRecursiveTraversalRule",
     "RawColorLiteralRule",
@@ -581,3 +582,64 @@ class FrozenMutationRule:
                             "restrict it to __post_init__/__setstate__ or use "
                             "dataclasses.replace",
                         )
+
+
+@register
+class NoFunctionBodyImportRule:
+    """R010 - no function-body imports of first-party ``repro`` modules.
+
+    A ``repro.*`` import buried in a function body hides the module's
+    real dependency graph, re-pays import-machinery overhead on hot
+    paths, and usually papers over an import cycle that should either
+    not exist or be documented where it is broken.  Imports of
+    third-party or stdlib modules inside functions are not flagged —
+    only first-party ones.
+    """
+
+    rule_id = "R010"
+    title = "no function-body imports of first-party repro modules"
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(ctx, node)
+
+    def _check_function(
+        self, ctx: FileContext, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Diagnostic]:
+        # ast.walk revisits nested functions on its own; only report the
+        # imports belonging *directly* to this function so each site is
+        # diagnosed exactly once.
+        nested: set[int] = set()
+        for stmt in ast.walk(fn):
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if stmt is not fn:
+                    nested.update(id(n) for n in ast.walk(stmt))
+        for node in ast.walk(fn):
+            if id(node) in nested:
+                continue
+            if isinstance(node, ast.Import):
+                for name in node.names:
+                    if self._first_party(name.name):
+                        yield self._diag(ctx, node, fn.name, name.name)
+            elif isinstance(node, ast.ImportFrom):
+                if node.level > 0:
+                    yield self._diag(ctx, node, fn.name, "." * node.level + (node.module or ""))
+                elif node.module is not None and self._first_party(node.module):
+                    yield self._diag(ctx, node, fn.name, node.module)
+
+    @staticmethod
+    def _first_party(module: str) -> bool:
+        return module == "repro" or module.startswith("repro.")
+
+    def _diag(
+        self, ctx: FileContext, node: ast.AST, fn_name: str, module: str
+    ) -> Diagnostic:
+        return ctx.diagnostic(
+            node,
+            self.rule_id,
+            f"function '{fn_name}' imports first-party module '{module}' "
+            "in its body",
+            "import at module scope; for a genuine import cycle, suppress "
+            "with '# reprolint: disable=R010' and cite the cycle",
+        )

@@ -20,6 +20,9 @@ __all__ = [
     "DataGenError",
     "EvaluationError",
     "SerializationError",
+    "ServiceError",
+    "ServiceClientError",
+    "WALError",
 ]
 
 
@@ -88,3 +91,23 @@ class EvaluationError(ReproError):
 
 class SerializationError(ReproError):
     """Reading or writing one of the on-disk formats failed."""
+
+
+class ServiceError(ReproError):
+    """The detection service hit an unrecoverable operational fault."""
+
+
+class ServiceClientError(ServiceError):
+    """An HTTP call to the detection service failed.
+
+    Carries the HTTP ``status`` (0 when the request never reached the
+    server) so callers can distinguish rejections from outages.
+    """
+
+    def __init__(self, message: str, *, status: int = 0) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class WALError(SerializationError):
+    """The write-ahead log is corrupt beyond the tolerated torn tail."""

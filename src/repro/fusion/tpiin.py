@@ -142,6 +142,25 @@ class TPIIN:
         """The antecedent network: every node, only ``IN`` arcs."""
         return self.graph.color_subgraph(EColor.INFLUENCE)
 
+    def antecedent_view(self) -> "TPIIN":
+        """A trading-free copy sharing this TPIIN's antecedent state.
+
+        The copy keeps the influence graph, registry, contraction
+        provenance and saved SCS subgraphs but drops every trading arc
+        (including the recorded intra-SCS trades).  Streaming consumers
+        (:class:`~repro.mining.incremental.IncrementalDetector`, the
+        serving daemon) start from this view and replay trading arcs as
+        explicit updates.
+        """
+        return TPIIN(
+            graph=self.antecedent_graph(),
+            registry=self.registry,
+            node_map=dict(self.node_map),
+            intra_scs_trades=[],
+            scs_subgraphs=dict(self.scs_subgraphs),
+            arc_provenance=dict(self.arc_provenance),
+        )
+
     def trading_graph(self) -> DiGraph:
         """The trading network: every node, only ``TR`` arcs."""
         return self.graph.color_subgraph(EColor.TRADING)

@@ -43,6 +43,7 @@ from repro.model.homogeneous import (
     InvestmentGraph,
     TradingGraph,
 )
+from repro.fusion.pipeline import fuse
 from repro.model.roles import Role
 from repro.weights.ownership import ShareholdingRegister
 
@@ -90,8 +91,6 @@ class RegistryBundle:
         keep_intermediates: bool = False,
     ) -> "FusionResult":
         """Convenience: run the fusion pipeline over the loaded graphs."""
-        from repro.fusion.pipeline import fuse
-
         if registry is None:
             registry = self.registry
         if affiliations is None and self.affiliations.number_of_arcs:

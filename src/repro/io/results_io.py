@@ -22,6 +22,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.mining.detector import DetectionResult
 
 __all__ = [
+    "detection_to_dict",
     "write_sus_files",
     "write_detection_json",
     "read_detection_json",
@@ -88,10 +89,14 @@ def group_from_dict(payload: dict[str, Any]) -> SuspiciousGroup:
         raise SerializationError(f"malformed group payload: {payload!r}") from exc
 
 
-def write_detection_json(result: "DetectionResult", path: str | Path) -> Path:
-    """Serialize a detection result (groups, counts, metadata) as JSON."""
-    path = Path(path)
-    payload = {
+def detection_to_dict(result: "DetectionResult") -> dict[str, Any]:
+    """The JSON-ready payload for a detection result.
+
+    Shared by :func:`write_detection_json` and the serving daemon's
+    ``GET /result`` endpoint so the on-disk and over-the-wire formats
+    cannot drift.
+    """
+    return {
         "engine": result.engine,
         "subtpiin_count": result.subtpiin_count,
         "total_trading_arcs": result.total_trading_arcs,
@@ -104,7 +109,12 @@ def write_detection_json(result: "DetectionResult", path: str | Path) -> Path:
         ),
         "groups": [group_to_dict(g) for g in result.groups],
     }
-    path.write_text(json.dumps(payload, indent=2))
+
+
+def write_detection_json(result: "DetectionResult", path: str | Path) -> Path:
+    """Serialize a detection result (groups, counts, metadata) as JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(detection_to_dict(result), indent=2))
     return path
 
 

@@ -17,6 +17,7 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
+from repro.datagen.companies import INDUSTRIES
 from repro.errors import EvaluationError
 
 __all__ = [
@@ -131,8 +132,6 @@ class IndustryProfile:
 
 
 def _default_profiles() -> dict[str, IndustryProfile]:
-    from repro.datagen.companies import INDUSTRIES
-
     profiles = {}
     for i, industry in enumerate(INDUSTRIES):
         profiles[industry] = IndustryProfile(

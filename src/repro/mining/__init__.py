@@ -3,7 +3,7 @@
 from repro.mining.detector import DetectionResult, SubTPIINResult, detect
 from repro.mining.fast import fast_detect
 from repro.mining.groups import GroupKind, SuspiciousGroup, minimal_groups
-from repro.mining.incremental import ArcUpdate, IncrementalDetector
+from repro.mining.incremental import ArcUpdate, IncrementalDetector, PathCacheStats
 from repro.mining.matching import match_component_patterns, match_pairs_naive
 from repro.mining.oracle import suspicious_arc_oracle, suspicious_arc_oracle_closure
 from repro.mining.parallel import parallel_detect
@@ -24,6 +24,7 @@ __all__ = [
     "DetectionResult",
     "GroupKind",
     "IncrementalDetector",
+    "PathCacheStats",
     "PatternTrail",
     "PatternTreeNode",
     "PatternsTreeResult",

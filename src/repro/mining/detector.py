@@ -143,7 +143,8 @@ class DetectionResult:
         """
         if not self.sub_results:
             return "no per-subTPIIN data (engine did not segment)"
-        from repro.analysis.reporting import render_table
+        # analysis imports mining at module scope; stay function-local.
+        from repro.analysis.reporting import render_table  # reprolint: disable=R010
 
         ranked = sorted(self.sub_results, key=lambda s: -len(s.groups))
         rows = [
@@ -173,7 +174,8 @@ class DetectionResult:
         engine), or a single aggregated pair (fast engine).  Returns the
         written paths.
         """
-        from repro.io.results_io import write_sus_files
+        # io.results_io type-imports DetectionResult; stay function-local.
+        from repro.io.results_io import write_sus_files  # reprolint: disable=R010
 
         return write_sus_files(self, Path(directory))
 
@@ -184,6 +186,7 @@ def detect(
     engine: str = "faithful",
     max_trails_per_subtpiin: int | None = None,
     skip_trivial_subtpiins: bool = True,
+    processes: int | None = None,
 ) -> DetectionResult:
     """Detect all suspicious tax evasion groups in ``tpiin``.
 
@@ -192,22 +195,36 @@ def detect(
     engine:
         ``"faithful"`` runs the paper's Algorithm 1/2 literally;
         ``"fast"`` runs the optimized equivalent engine;
-        ``"parallel"`` runs the faithful engine across worker processes.
+        ``"parallel"`` runs the faithful engine across worker processes;
+        ``"incremental"`` streams the trading arcs through
+        :class:`~repro.mining.incremental.IncrementalDetector` (useful
+        to validate the streaming path against the batch engines).
     max_trails_per_subtpiin:
         Faithful engine only: optional cap on each pattern base as a
         safety valve (caps make the result a *lower bound*; the paper's
         experiments run uncapped, as do ours).
     skip_trivial_subtpiins:
         Skip subTPIINs with no trading arc (pure optimization).
+    processes:
+        Parallel engine only: worker-process count (defaults to the
+        machine's CPU count).
     """
+    # The engine modules import DetectionResult from this module, so
+    # their imports must stay function-local to break the cycle.
     if engine == "fast":
-        from repro.mining.fast import fast_detect
+        from repro.mining.fast import fast_detect  # reprolint: disable=R010
 
         return fast_detect(tpiin)
     if engine == "parallel":
-        from repro.mining.parallel import parallel_detect
+        from repro.mining.parallel import parallel_detect  # reprolint: disable=R010
 
-        return parallel_detect(tpiin)
+        return parallel_detect(tpiin, processes=processes)
+    if engine == "incremental":
+        from repro.mining.incremental import (  # reprolint: disable=R010
+            IncrementalDetector,
+        )
+
+        return IncrementalDetector(tpiin).result()
     if engine != "faithful":
         raise MiningError(f"unknown engine {engine!r}")
 

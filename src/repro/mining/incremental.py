@@ -19,20 +19,51 @@ property the hypothesis suite verifies.
 
 from __future__ import annotations
 
-from collections import Counter
+from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
 
 from repro.errors import MiningError
 from repro.fusion.tpiin import TPIIN
 from repro.graph.bitset import RootAncestorIndex
 from repro.graph.digraph import DiGraph, Node
+from repro.graph.traversal import weakly_connected_components
 from repro.mining.detector import DetectionResult
 from repro.mining.fast import enumerate_arc_groups, enumerate_root_paths
 from repro.mining.groups import GroupKind, SuspiciousGroup
 from repro.mining.scs_groups import shortest_path_in
 from repro.model.colors import EColor, VColor
 
-__all__ = ["ArcUpdate", "IncrementalDetector"]
+__all__ = ["ArcUpdate", "IncrementalDetector", "PathCacheStats"]
+
+
+@dataclass(frozen=True, slots=True)
+class PathCacheStats:
+    """Counters for the per-root influence-path cache.
+
+    A long-lived detector (the serving daemon) needs these to bound its
+    memory and to report cache effectiveness on ``/metrics``.
+    """
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int | None
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def to_dict(self) -> dict[str, int | float | None]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": self.size,
+            "capacity": self.capacity,
+            "hit_rate": self.hit_rate,
+        }
 
 
 @dataclass(frozen=True, slots=True)
@@ -68,19 +99,39 @@ class IncrementalDetector:
     collect_groups:
         With ``False`` only counts are tracked, mirroring
         ``fast_detect(collect_groups=False)``.
+    max_cached_roots:
+        Upper bound on the number of roots whose influence-path
+        enumerations are kept in the LRU cache.  ``None`` disables the
+        cap (the pre-bounded behaviour); the default is generous enough
+        that batch-equivalent workloads never evict.
     """
 
-    def __init__(self, tpiin: TPIIN, *, collect_groups: bool = True) -> None:
+    def __init__(
+        self,
+        tpiin: TPIIN,
+        *,
+        collect_groups: bool = True,
+        max_cached_roots: int | None = 4096,
+    ) -> None:
+        if max_cached_roots is not None and max_cached_roots < 1:
+            raise MiningError(
+                f"max_cached_roots must be positive or None, got {max_cached_roots}"
+            )
         self._tpiin = tpiin
         self._graph: DiGraph = tpiin.antecedent_graph()
         self._collect = collect_groups
         self._index = RootAncestorIndex(self._graph, EColor.INFLUENCE)
-        self._path_cache: dict[Node, dict[Node, list[tuple[Node, ...]]]] = {}
+        self._max_cached_roots = max_cached_roots
+        self._path_cache: OrderedDict[
+            Node, dict[Node, list[tuple[Node, ...]]]
+        ] = OrderedDict()
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._cache_evictions = 0
         self._member_to_scs: dict[Node, Node] = {}
         for scs_id, subgraph in tpiin.scs_subgraphs.items():
             for member in subgraph.nodes():
                 self._member_to_scs[member] = scs_id
-        from repro.graph.traversal import weakly_connected_components
 
         self._component_of: dict[Node, int] = {}
         for i, component in enumerate(
@@ -136,6 +187,14 @@ class IncrementalDetector:
     def __len__(self) -> int:
         return len(self._arcs)
 
+    def trading_arcs(self) -> list[tuple[Node, Node]]:
+        """The currently live trading arcs, in insertion order.
+
+        This is the state a serving layer must persist to reconstruct
+        the detector (the antecedent network is immutable).
+        """
+        return list(self._arcs)
+
     # ------------------------------------------------------------------
     # aggregate view
     # ------------------------------------------------------------------
@@ -143,9 +202,25 @@ class IncrementalDetector:
     def suspicious_arcs(self) -> set[tuple[Node, Node]]:
         return {arc for arc, state in self._arcs.items() if state.suspicious}
 
+    @property
+    def path_cache_stats(self) -> PathCacheStats:
+        """Hit/miss/eviction counters of the per-root path cache."""
+        return PathCacheStats(
+            hits=self._cache_hits,
+            misses=self._cache_misses,
+            evictions=self._cache_evictions,
+            size=len(self._path_cache),
+            capacity=self._max_cached_roots,
+        )
+
     def groups_for_arc(self, seller: Node, buyer: Node) -> list[SuspiciousGroup]:
         state = self._arcs.get((seller, buyer))
         return list(state.groups) if state else []
+
+    def is_suspicious_arc(self, seller: Node, buyer: Node) -> bool:
+        """Whether the (present) arc backs at least one group — O(1)."""
+        state = self._arcs.get((seller, buyer))
+        return state.suspicious if state else False
 
     def result(self) -> DetectionResult:
         """A :class:`DetectionResult` equal to a batch run over the arcs."""
@@ -191,9 +266,19 @@ class IncrementalDetector:
 
     def _paths_of(self, root: Node) -> dict[Node, list[tuple[Node, ...]]]:
         cached = self._path_cache.get(root)
-        if cached is None:
-            cached = enumerate_root_paths(self._graph, root, EColor.INFLUENCE)
-            self._path_cache[root] = cached
+        if cached is not None:
+            self._cache_hits += 1
+            self._path_cache.move_to_end(root)
+            return cached
+        self._cache_misses += 1
+        cached = enumerate_root_paths(self._graph, root, EColor.INFLUENCE)
+        self._path_cache[root] = cached
+        if (
+            self._max_cached_roots is not None
+            and len(self._path_cache) > self._max_cached_roots
+        ):
+            self._path_cache.popitem(last=False)
+            self._cache_evictions += 1
         return cached
 
     def _groups_for(

@@ -11,6 +11,7 @@ explicit ``__getstate__`` support on :class:`~repro.graph.digraph.DiGraph`.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor
 
 from repro.fusion.tpiin import TPIIN
@@ -53,8 +54,12 @@ def parallel_detect(
     if len(payloads) < min_subtpiins_for_pool:
         outcomes = [_mine_one(p) for p in payloads]
     else:
-        with ProcessPoolExecutor(max_workers=processes) as pool:
-            chunk = max(1, len(payloads) // ((processes or 4) * 4))
+        # Resolve the worker count the same way the pool would, so the
+        # chunk size tracks the actual parallelism (4 chunks per worker)
+        # instead of assuming a 4-process pool.
+        workers = processes if processes is not None else (os.cpu_count() or 1)
+        chunk = max(1, len(payloads) // (workers * 4))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
             outcomes = list(pool.map(_mine_one, payloads, chunksize=chunk))
 
     outcomes.sort(key=lambda item: item[0])

@@ -28,7 +28,13 @@ from collections.abc import Iterator
 
 from repro.errors import ValidationError
 from repro.graph.digraph import DiGraph, Node, UnGraph
-from repro.model.colors import InfluenceKind, InterdependenceKind, RelationKind, VColor
+from repro.model.colors import (
+    AffiliationKind,
+    InfluenceKind,
+    InterdependenceKind,
+    RelationKind,
+    VColor,
+)
 
 __all__ = [
     "InterdependenceGraph",
@@ -271,8 +277,6 @@ class AffiliationGraph:
     def add_affiliation(
         self, source: Node, target: Node, kind: "AffiliationKind | str"
     ) -> bool:
-        from repro.model.colors import AffiliationKind
-
         kind = AffiliationKind(kind)
         if source == target:
             raise ValidationError(
@@ -294,8 +298,6 @@ class AffiliationGraph:
         return self.graph.number_of_arcs()
 
     def validate(self) -> None:
-        from repro.model.colors import AffiliationKind
-
         for node in self.graph.nodes():
             if self.graph.node_color(node) != VColor.COMPANY:
                 raise ValidationError(

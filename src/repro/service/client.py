@@ -1,0 +1,115 @@
+"""Python client for the detection daemon's JSON API.
+
+Pure stdlib (:mod:`urllib.request`); one :class:`ServiceClient` per
+daemon base URL.  Non-2xx responses raise
+:class:`~repro.errors.ServiceClientError` carrying the HTTP status and
+the daemon's ``error`` message, so callers branch on ``exc.status``
+instead of parsing text.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any
+from urllib.parse import quote
+
+from repro.errors import ServiceClientError
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Thin typed wrapper over the daemon's HTTP endpoints."""
+
+    def __init__(self, base_url: str, *, timeout: float = 10.0) -> None:
+        self._base = base_url.rstrip("/")
+        self._timeout = timeout
+
+    # ------------------------------------------------------------------
+    # mutations
+    # ------------------------------------------------------------------
+    def add_arc(self, seller: str, buyer: str) -> dict[str, Any]:
+        """Add a trading arc; returns the verdict payload."""
+        return self._request(
+            "POST", "/arcs", body={"op": "add", "seller": seller, "buyer": buyer}
+        )
+
+    def remove_arc(self, seller: str, buyer: str) -> dict[str, Any]:
+        """Retract a trading arc; returns the verdict payload."""
+        return self._request(
+            "POST", "/arcs", body={"op": "remove", "seller": seller, "buyer": buyer}
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def arc(self, seller: str, buyer: str) -> dict[str, Any]:
+        return self._request("GET", f"/arcs/{quote(seller, safe='')}/{quote(buyer, safe='')}")
+
+    def result(self) -> dict[str, Any]:
+        return self._request("GET", "/result")
+
+    def investigate(self, company: str) -> dict[str, Any]:
+        return self._request("GET", f"/investigate/{quote(company, safe='')}")
+
+    def healthz(self) -> dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict[str, Any]:
+        return self._request("GET", "/metrics")
+
+    def wait_until_healthy(self, *, attempts: int = 50, delay: float = 0.1) -> dict[str, Any]:
+        """Poll ``/healthz`` until the daemon answers (e.g. right after boot)."""
+        last_error: Exception | None = None
+        for _ in range(attempts):
+            try:
+                return self.healthz()
+            except ServiceClientError as exc:
+                if exc.status:  # daemon answered, just unhappy — do not retry
+                    raise
+                last_error = exc
+            time.sleep(delay)
+        raise ServiceClientError(
+            f"daemon at {self._base} did not become healthy "
+            f"after {attempts} attempts: {last_error}"
+        )
+
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, *, body: dict[str, Any] | None = None
+    ) -> dict[str, Any]:
+        url = self._base + path
+        data = json.dumps(body).encode("utf-8") if body is not None else None
+        request = urllib.request.Request(url, data=data, method=method)
+        if data is not None:
+            request.add_header("Content-Type", "application/json")
+        try:
+            with urllib.request.urlopen(request, timeout=self._timeout) as response:
+                payload = self._decode(response.read(), status=response.status, url=url)
+        except urllib.error.HTTPError as exc:
+            payload = self._decode(exc.read(), status=exc.code, url=url)
+            message = payload.get("error", f"HTTP {exc.code}")
+            raise ServiceClientError(
+                f"{method} {url} failed: {message}", status=exc.code
+            ) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceClientError(f"{method} {url} unreachable: {exc.reason}") from exc
+        return payload
+
+    @staticmethod
+    def _decode(raw: bytes, *, status: int, url: str) -> dict[str, Any]:
+        try:
+            payload = json.loads(raw)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ServiceClientError(
+                f"{url} returned invalid JSON (HTTP {status}): {exc}", status=status
+            ) from exc
+        if not isinstance(payload, dict):
+            raise ServiceClientError(
+                f"{url} returned a non-object JSON payload (HTTP {status})",
+                status=status,
+            )
+        return payload

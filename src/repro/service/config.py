@@ -1,0 +1,80 @@
+"""Configuration for the long-lived detection daemon.
+
+One frozen record holds everything the daemon needs to run: where to
+listen, where the durable state lives (write-ahead log + snapshot), how
+often to compact, and the streaming detector's cache bound.  The CLI
+``serve`` subcommand builds one of these from flags; tests build them
+directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ServiceError
+
+__all__ = ["SNAPSHOT_FILENAME", "WAL_FILENAME", "ServiceConfig"]
+
+#: On-disk file names inside ``state_dir``.
+WAL_FILENAME = "wal.jsonl"
+SNAPSHOT_FILENAME = "snapshot.json"
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceConfig:
+    """Operational parameters of one daemon instance.
+
+    Parameters
+    ----------
+    state_dir:
+        Directory holding the write-ahead log and the latest snapshot.
+        Created on demand; point two daemons at the same directory and
+        the second one inherits the first one's state.
+    host / port:
+        Listen address.  Port ``0`` asks the OS for an ephemeral port
+        (useful in tests; the bound port is reported once the socket
+        exists).
+    snapshot_every:
+        Compact (snapshot + WAL truncation) after this many applied arc
+        updates.  Bounds both recovery time and WAL size.
+    fsync:
+        Fsync the WAL after every acknowledged update.  ``True`` is the
+        durable default; ``False`` trades crash safety for throughput
+        (data loss window = OS page-cache flush interval).
+    max_cached_roots:
+        Forwarded to :class:`~repro.mining.incremental.IncrementalDetector`:
+        LRU bound on the per-root influence-path cache.
+    collect_groups:
+        With ``False`` the detector tracks counts only; ``/result``
+        then reports counts without materialized groups.
+    """
+
+    state_dir: Path
+    host: str = "127.0.0.1"
+    port: int = 8420
+    snapshot_every: int = 500
+    fsync: bool = True
+    max_cached_roots: int | None = 4096
+    collect_groups: bool = True
+
+    def __post_init__(self) -> None:
+        if self.snapshot_every < 1:
+            raise ServiceError(
+                f"snapshot_every must be >= 1, got {self.snapshot_every}"
+            )
+        if not 0 <= self.port <= 65535:
+            raise ServiceError(f"port must be in [0, 65535], got {self.port}")
+        object.__setattr__(self, "state_dir", Path(self.state_dir))
+
+    @property
+    def wal_path(self) -> Path:
+        return self.state_dir / WAL_FILENAME
+
+    @property
+    def snapshot_path(self) -> Path:
+        return self.state_dir / SNAPSHOT_FILENAME
+
+    def ensure_state_dir(self) -> Path:
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        return self.state_dir

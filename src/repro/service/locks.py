@@ -1,0 +1,76 @@
+"""A single-writer / multi-reader lock for the serving daemon.
+
+The streaming detector mutates shared state on arc updates but every
+query endpoint only reads it, so the classic readers-writer discipline
+applies: any number of concurrent readers, writers exclusive, and
+writer preference so a steady query stream cannot starve updates
+(arriving writers block new readers from entering).
+
+The stdlib has no RW lock; this one is a small condition-variable
+implementation with context-manager views (``with lock.read(): ...``).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Iterator
+from contextlib import contextmanager
+
+__all__ = ["ReadWriteLock"]
+
+
+class ReadWriteLock:
+    """Writer-preferring readers-writer lock."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._active_readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # ------------------------------------------------------------------
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._active_readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._active_readers -= 1
+            if self._active_readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._active_readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        """Shared (reader) critical section."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        """Exclusive (writer) critical section."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()

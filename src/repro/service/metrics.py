@@ -1,0 +1,106 @@
+"""Operational metrics for the detection daemon.
+
+Request counters, error counters and fixed-bucket latency histograms
+per endpoint, plus daemon-level gauges (arcs processed, snapshots
+written).  Everything is guarded by one lock — these are tiny critical
+sections on a threaded server — and exported as one JSON document on
+``GET /metrics`` together with the detector's path-cache counters.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter
+
+__all__ = ["LATENCY_BUCKETS_MS", "LatencyHistogram", "ServiceMetrics"]
+
+#: Upper bucket bounds in milliseconds (the last bucket is +inf).
+LATENCY_BUCKETS_MS = (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0)
+
+
+class LatencyHistogram:
+    """Cumulative-style fixed-bucket latency histogram."""
+
+    def __init__(self, bounds_ms: tuple[float, ...] = LATENCY_BUCKETS_MS) -> None:
+        self._bounds = bounds_ms
+        self._counts = [0] * (len(bounds_ms) + 1)
+        self._total_ms = 0.0
+        self._observations = 0
+
+    def observe(self, elapsed_ms: float) -> None:
+        index = len(self._bounds)
+        for i, bound in enumerate(self._bounds):
+            if elapsed_ms <= bound:
+                index = i
+                break
+        self._counts[index] += 1
+        self._total_ms += elapsed_ms
+        self._observations += 1
+
+    def to_dict(self) -> dict[str, object]:
+        buckets = {f"le_{bound:g}ms": count for bound, count in zip(self._bounds, self._counts)}
+        buckets["le_inf"] = self._counts[-1]
+        mean = self._total_ms / self._observations if self._observations else 0.0
+        return {
+            "count": self._observations,
+            "total_ms": self._total_ms,
+            "mean_ms": mean,
+            "buckets": buckets,
+        }
+
+
+class ServiceMetrics:
+    """Thread-safe metric registry for one daemon instance."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._started = time.monotonic()
+        self._requests: Counter[str] = Counter()
+        self._errors: Counter[str] = Counter()
+        self._latency: dict[str, LatencyHistogram] = {}
+        self._arcs_added = 0
+        self._arcs_removed = 0
+        self._snapshots_written = 0
+
+    # ------------------------------------------------------------------
+    def observe_request(self, endpoint: str, status: int, elapsed_ms: float) -> None:
+        with self._lock:
+            self._requests[endpoint] += 1
+            if status >= 400:
+                self._errors[endpoint] += 1
+            histogram = self._latency.get(endpoint)
+            if histogram is None:
+                histogram = self._latency[endpoint] = LatencyHistogram()
+            histogram.observe(elapsed_ms)
+
+    def count_arc_applied(self, op: str) -> None:
+        with self._lock:
+            if op == "add":
+                self._arcs_added += 1
+            else:
+                self._arcs_removed += 1
+
+    def count_snapshot(self) -> None:
+        with self._lock:
+            self._snapshots_written += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def uptime_seconds(self) -> float:
+        return time.monotonic() - self._started
+
+    def to_dict(self) -> dict[str, object]:
+        with self._lock:
+            return {
+                "uptime_seconds": self.uptime_seconds,
+                "requests": dict(sorted(self._requests.items())),
+                "errors": dict(sorted(self._errors.items())),
+                "latency_ms": {
+                    endpoint: histogram.to_dict()
+                    for endpoint, histogram in sorted(self._latency.items())
+                },
+                "arcs_added": self._arcs_added,
+                "arcs_removed": self._arcs_removed,
+                "snapshots_written": self._snapshots_written,
+            }

@@ -1,0 +1,200 @@
+"""Stdlib-only JSON transport for :class:`DetectionService`.
+
+One :class:`~http.server.ThreadingHTTPServer` per daemon.  Endpoints:
+
+=========================================  =====================================
+``POST /arcs``                             apply ``{"op", "seller", "buyer"}``
+``GET  /arcs/{seller}/{buyer}``            status of one trading arc
+``GET  /result``                           full detection result (JSON)
+``GET  /investigate/{company}``            drill-down briefing for a company
+``GET  /healthz``                          liveness + recovery summary
+``GET  /metrics``                          counters, latency histograms, caches
+=========================================  =====================================
+
+Concurrency is bounded by the service's single-writer/multi-reader lock:
+HTTP worker threads carry requests concurrently, but mutations serialize
+at the state layer, never in the transport.  The server keeps
+``daemon_threads = False`` so ``server_close()`` joins in-flight workers
+— a SIGTERM drains cleanly instead of tearing mid-response.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import signal
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, cast
+from urllib.parse import unquote
+
+from repro.errors import MiningError, ServiceError
+from repro.io.results_io import detection_to_dict, group_to_dict
+from repro.mining.incremental import ArcUpdate
+from repro.service.state import DetectionService
+from repro.service.wal import OP_ADD, OP_REMOVE
+
+__all__ = ["DetectionHTTPServer", "DetectionRequestHandler", "serve"]
+
+_logger = logging.getLogger("repro.service")
+
+
+def _update_to_dict(update: ArcUpdate) -> dict[str, Any]:
+    seller, buyer = update.arc
+    return {
+        "arc": [str(seller), str(buyer)],
+        "applied": update.applied,
+        "suspicious": update.suspicious,
+        "group_count": update.group_count,
+        "groups": [group_to_dict(g) for g in update.groups],
+    }
+
+
+class DetectionHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server that owns a :class:`DetectionService`."""
+
+    # Track and join worker threads on server_close(): a drained
+    # shutdown must finish in-flight responses, not abandon them.
+    daemon_threads = False
+    block_on_close = True
+    allow_reuse_address = True
+
+    def __init__(self, address: tuple[str, int], service: DetectionService) -> None:
+        super().__init__(address, DetectionRequestHandler)
+        self.service = service
+
+
+class DetectionRequestHandler(BaseHTTPRequestHandler):
+    """Routes requests onto the owning server's service."""
+
+    server_version = "repro-tpiin-service/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> DetectionService:
+        return cast(DetectionHTTPServer, self.server).service
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        started = time.perf_counter()
+        endpoint = "unknown"
+        status = 500
+        try:
+            endpoint, status, payload = self._route(method)
+        except MiningError as exc:
+            status, payload = 400, {"error": str(exc)}
+        except ServiceError as exc:
+            status, payload = 503, {"error": str(exc)}
+        except Exception as exc:  # pragma: no cover - defensive
+            _logger.exception("unhandled error serving %s %s", method, self.path)
+            status, payload = 500, {"error": f"internal error: {exc}"}
+        self._send_json(status, payload)
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        self.service.metrics.observe_request(endpoint, status, elapsed_ms)
+
+    def _route(self, method: str) -> tuple[str, int, dict[str, Any]]:
+        parts = [unquote(p) for p in self.path.split("?", 1)[0].split("/") if p]
+        if method == "POST":
+            if parts == ["arcs"]:
+                status, payload = self._handle_post_arcs()
+                return "post_arcs", status, payload
+            return "unknown", 404, {"error": f"no POST route for {self.path!r}"}
+        if parts == ["healthz"]:
+            return "healthz", 200, dict(self.service.health())
+        if parts == ["metrics"]:
+            return "metrics", 200, dict(self.service.metrics_payload())
+        if parts == ["result"]:
+            return "result", 200, detection_to_dict(self.service.result())
+        if len(parts) == 3 and parts[0] == "arcs":
+            status_view = self.service.arc_status(parts[1], parts[2])
+            return (
+                "get_arc",
+                200,
+                {
+                    "arc": [status_view.seller, status_view.buyer],
+                    "present": status_view.present,
+                    "suspicious": status_view.suspicious,
+                    "groups": [group_to_dict(g) for g in status_view.groups],
+                },
+            )
+        if len(parts) == 2 and parts[0] == "investigate":
+            return "investigate", 200, dict(self.service.investigate(parts[1]).to_dict())
+        return "unknown", 404, {"error": f"no GET route for {self.path!r}"}
+
+    def _handle_post_arcs(self) -> tuple[int, dict[str, Any]]:
+        body = self._read_json_body()
+        op = body.get("op", OP_ADD)
+        seller = body.get("seller")
+        buyer = body.get("buyer")
+        if op not in (OP_ADD, OP_REMOVE):
+            return 400, {"error": f"op must be {OP_ADD!r} or {OP_REMOVE!r}, got {op!r}"}
+        if not isinstance(seller, str) or not isinstance(buyer, str):
+            return 400, {"error": "seller and buyer must be strings"}
+        if op == OP_ADD:
+            update = self.service.add_arc(seller, buyer)
+        else:
+            update = self.service.remove_arc(seller, buyer)
+        return 200, _update_to_dict(update)
+
+    def _read_json_body(self) -> dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise MiningError("request body is empty; expected a JSON object")
+        try:
+            payload = json.loads(raw)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise MiningError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise MiningError("request body must be a JSON object")
+        return payload
+
+    # ------------------------------------------------------------------
+    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+        body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: object) -> None:
+        _logger.debug("%s - %s", self.address_string(), format % args)
+
+
+def serve(
+    server: DetectionHTTPServer,
+    *,
+    install_signal_handlers: bool = True,
+) -> None:
+    """Run ``server`` until SIGTERM/SIGINT, then drain and close durably.
+
+    ``server.shutdown()`` must not be called from the signal handler's
+    (main) thread while ``serve_forever`` runs on it — that deadlocks —
+    so the handler hands the call to a short-lived helper thread.
+    """
+
+    def _request_shutdown(signum: int, frame: object) -> None:
+        _logger.info("signal %d received; draining", signum)
+        threading.Thread(target=server.shutdown, name="shutdown").start()
+
+    previous: dict[int, Any] = {}
+    if install_signal_handlers:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous[signum] = signal.signal(signum, _request_shutdown)
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()  # joins in-flight worker threads
+        server.service.close()
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)

@@ -1,0 +1,278 @@
+"""The daemon's state machine: detector + WAL + snapshots + locking.
+
+:class:`DetectionService` is the transport-agnostic core of the serving
+daemon.  It loads a TPIIN once, wraps an
+:class:`~repro.mining.incremental.IncrementalDetector` over the (warm,
+immutable) antecedent indexes, and funnels every mutation through a
+single-writer/multi-reader lock and a write-ahead log:
+
+1. apply the update to the in-memory detector (validation happens here;
+   a rejected update never reaches the log);
+2. append the record to the WAL and flush it — only now is the update
+   *acknowledged*;
+3. every ``snapshot_every`` acknowledged updates, compact: write an
+   atomic snapshot of the live arc set and truncate the WAL.
+
+Recovery (:meth:`DetectionService.open`) inverts the pipeline: start
+from the trading-free antecedent view, seed it with the snapshot's arcs
+(or, on first boot, the TPIIN's own trading arcs), then replay the WAL
+tail.  The crash-recovery property suite verifies the result is
+byte-identical (up to group ordering) to a batch ``fast_detect`` over
+the surviving arc set.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.analysis.investigate import CompanyInvestigation, investigate_company
+from repro.errors import MiningError, ServiceError
+from repro.fusion.tpiin import TPIIN
+from repro.mining.detector import DetectionResult
+from repro.mining.groups import SuspiciousGroup
+from repro.mining.incremental import ArcUpdate, IncrementalDetector
+from repro.service.config import ServiceConfig
+from repro.service.locks import ReadWriteLock
+from repro.service.metrics import ServiceMetrics
+from repro.service.snapshot import Snapshot, read_snapshot, write_snapshot
+from repro.service.wal import OP_ADD, OP_REMOVE, WriteAheadLog
+
+__all__ = ["ArcStatus", "DetectionService"]
+
+
+class ArcStatus:
+    """Read-only view of one trading arc (the ``GET /arcs`` payload)."""
+
+    __slots__ = ("seller", "buyer", "present", "suspicious", "groups")
+
+    def __init__(
+        self,
+        seller: str,
+        buyer: str,
+        *,
+        present: bool,
+        suspicious: bool,
+        groups: Sequence[SuspiciousGroup],
+    ) -> None:
+        self.seller = seller
+        self.buyer = buyer
+        self.present = present
+        self.suspicious = suspicious
+        self.groups = tuple(groups)
+
+
+class DetectionService:
+    """Long-lived, durable, concurrency-safe detection state.
+
+    Construct via :meth:`open` (which performs recovery) rather than
+    directly; the initializer wires already-recovered parts together.
+    """
+
+    def __init__(
+        self,
+        tpiin: TPIIN,
+        detector: IncrementalDetector,
+        wal: WriteAheadLog,
+        config: ServiceConfig,
+        *,
+        recovered_records: int = 0,
+        recovered_from_snapshot: bool = False,
+        healed_torn_tail: bool = False,
+    ) -> None:
+        self._tpiin = tpiin
+        self._detector = detector
+        self._wal = wal
+        self._config = config
+        self._lock = ReadWriteLock()
+        self._ops_since_snapshot = 0
+        self._closed = False
+        self.metrics = ServiceMetrics()
+        self.recovered_records = recovered_records
+        self.recovered_from_snapshot = recovered_from_snapshot
+        self.healed_torn_tail = healed_torn_tail
+
+    # ------------------------------------------------------------------
+    # construction / recovery
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, tpiin: TPIIN, config: ServiceConfig) -> "DetectionService":
+        """Load (or initialize) durable state and return a ready service.
+
+        On first boot the TPIIN's own trading arcs (including recorded
+        intra-SCS trades) seed the stream.  On restart the snapshot and
+        WAL fully determine the arc set and the TPIIN only contributes
+        its antecedent network — so the same TPIIN file must be served
+        across restarts (a mismatch surfaces as :class:`ServiceError`).
+        """
+        config.ensure_state_dir()
+        snapshot = read_snapshot(config.snapshot_path)
+        wal, replay = WriteAheadLog.open(config.wal_path, fsync=config.fsync)
+
+        detector = IncrementalDetector(
+            tpiin.antecedent_view(),
+            collect_groups=config.collect_groups,
+            max_cached_roots=config.max_cached_roots,
+        )
+
+        if snapshot is not None:
+            # The snapshot captures the complete live arc set (baseline
+            # included), so the TPIIN's own trading arcs are not re-read.
+            for seller, buyer in snapshot.arcs:
+                cls._replay_apply(detector, OP_ADD, seller, buyer, source="snapshot")
+        else:
+            # No snapshot yet: the baseline is the TPIIN's trading arcs;
+            # the WAL (if any) holds only the deltas applied on top.
+            for seller, buyer in tpiin.trading_arcs():
+                detector.add_trading_arc(seller, buyer)
+            for seller, buyer in tpiin.intra_scs_trades:
+                detector.add_trading_arc(seller, buyer)
+
+        floor = snapshot.last_seq if snapshot is not None else 0
+        replayed = 0
+        for record in replay.records:
+            if record.seq <= floor:
+                # Stale record from a crash between snapshot write and
+                # WAL truncation; the snapshot already contains it.
+                continue
+            cls._replay_apply(
+                detector, record.op, record.seller, record.buyer, source="WAL"
+            )
+            replayed += 1
+
+        return cls(
+            tpiin,
+            detector,
+            wal,
+            config,
+            recovered_records=replayed,
+            recovered_from_snapshot=snapshot is not None,
+            healed_torn_tail=replay.torn_tail,
+        )
+
+    @staticmethod
+    def _replay_apply(
+        detector: IncrementalDetector, op: str, seller: str, buyer: str, *, source: str
+    ) -> None:
+        try:
+            if op == OP_ADD:
+                detector.add_trading_arc(seller, buyer)
+            elif op == OP_REMOVE:
+                detector.remove_trading_arc(seller, buyer)
+            else:  # unreachable for records that passed WAL validation
+                raise ServiceError(f"unknown replayed operation {op!r}")
+        except MiningError as exc:
+            raise ServiceError(
+                f"{source} replay of {op} ({seller!r} -> {buyer!r}) failed: {exc}; "
+                "is the daemon serving the same TPIIN it was started with?"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # mutations (exclusive)
+    # ------------------------------------------------------------------
+    def add_arc(self, seller: str, buyer: str) -> ArcUpdate:
+        """Add a trading arc; returns the verdict with proof-chain groups."""
+        return self._mutate(OP_ADD, seller, buyer)
+
+    def remove_arc(self, seller: str, buyer: str) -> ArcUpdate:
+        """Retract a trading arc (e.g. a corrected filing)."""
+        return self._mutate(OP_REMOVE, seller, buyer)
+
+    def _mutate(self, op: str, seller: str, buyer: str) -> ArcUpdate:
+        with self._lock.write():
+            self._ensure_open()
+            if op == OP_ADD:
+                update = self._detector.add_trading_arc(seller, buyer)
+            else:
+                update = self._detector.remove_trading_arc(seller, buyer)
+            if update.applied:
+                # Acknowledge only after the record is durable.
+                self._wal.append(op, str(seller), str(buyer))
+                self.metrics.count_arc_applied(op)
+                self._ops_since_snapshot += 1
+                if self._ops_since_snapshot >= self._config.snapshot_every:
+                    self._compact_locked()
+            return update
+
+    def compact(self) -> Snapshot:
+        """Force a snapshot + WAL truncation; returns the snapshot."""
+        with self._lock.write():
+            self._ensure_open()
+            return self._compact_locked()
+
+    def _compact_locked(self) -> Snapshot:
+        snapshot = Snapshot(
+            last_seq=self._wal.last_seq,
+            arcs=tuple(
+                (str(seller), str(buyer))
+                for seller, buyer in self._detector.trading_arcs()
+            ),
+        )
+        write_snapshot(self._config.snapshot_path, snapshot)
+        self._wal.truncate()
+        self._ops_since_snapshot = 0
+        self.metrics.count_snapshot()
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # queries (shared)
+    # ------------------------------------------------------------------
+    def arc_status(self, seller: str, buyer: str) -> ArcStatus:
+        with self._lock.read():
+            return ArcStatus(
+                str(seller),
+                str(buyer),
+                present=(seller, buyer) in self._detector,
+                suspicious=self._detector.is_suspicious_arc(seller, buyer),
+                groups=self._detector.groups_for_arc(seller, buyer),
+            )
+
+    def result(self) -> DetectionResult:
+        """Aggregate result, equal to a batch run over the live arc set."""
+        with self._lock.read():
+            return self._detector.result()
+
+    def investigate(self, company: str) -> CompanyInvestigation:
+        with self._lock.read():
+            return investigate_company(self._tpiin, self._detector.result(), company)
+
+    def arc_count(self) -> int:
+        with self._lock.read():
+            return len(self._detector)
+
+    def health(self) -> dict[str, object]:
+        with self._lock.read():
+            return {
+                "status": "ok" if not self._closed else "closed",
+                "arcs": len(self._detector),
+                "wal_seq": self._wal.last_seq,
+                "uptime_seconds": self.metrics.uptime_seconds,
+                "recovered_records": self.recovered_records,
+                "recovered_from_snapshot": self.recovered_from_snapshot,
+                "healed_torn_tail": self.healed_torn_tail,
+            }
+
+    def metrics_payload(self) -> dict[str, object]:
+        payload = self.metrics.to_dict()
+        with self._lock.read():
+            payload["path_cache"] = self._detector.path_cache_stats.to_dict()
+            payload["arcs_tracked"] = len(self._detector)
+            payload["wal_seq"] = self._wal.last_seq
+        return payload
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Flush and release durable state (idempotent)."""
+        with self._lock.write():
+            if not self._closed:
+                self._wal.close()
+                self._closed = True
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ServiceError("the detection service is closed")
+
+    def __enter__(self) -> "DetectionService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,28 @@
+"""Bad: first-party imports buried in function bodies."""
+
+
+def load_detector():
+    import repro.mining.incremental
+
+    return repro.mining.incremental
+
+
+def run_detection(tpiin):
+    from repro.mining.fast import fast_detect
+
+    return fast_detect(tpiin)
+
+
+def outer():
+    def inner():
+        from repro.graph.digraph import DiGraph
+
+        return DiGraph
+
+    return inner
+
+
+def relative_variant():
+    from .detector import detect
+
+    return detect

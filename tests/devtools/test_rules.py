@@ -20,6 +20,7 @@ BAD_CASES = {
     "R007": ("R007/bad.py", [5, 7]),
     "R008": ("R008/bad.py", [5, 7, 9, 9]),
     "R009": ("R009/bad.py", [11, 15]),
+    "R010": ("R010/bad.py", [5, 11, 18, 26]),
 }
 
 #: rule id -> fixtures that must stay perfectly silent under that rule
@@ -33,6 +34,7 @@ GOOD_CASES = {
     "R007": ["R007/good.py", "R007/cli.py"],
     "R008": ["R008/good.py"],
     "R009": ["R009/good.py"],
+    "R010": ["R010/good.py"],
 }
 
 

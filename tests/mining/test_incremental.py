@@ -74,6 +74,66 @@ class TestStreaming:
         assert detector.groups_for_arc("C8", "C4") == []
 
 
+class TestPathCache:
+    def test_stats_track_hits_and_misses(self, fig8):
+        detector = IncrementalDetector(antecedent_only_fig8(fig8))
+        detector.add_trading_arc("C3", "C5")
+        first = detector.path_cache_stats
+        assert first.misses >= 1 and first.hits == 0
+        detector.remove_trading_arc("C3", "C5")
+        detector.add_trading_arc("C3", "C5")  # same roots -> warm cache
+        second = detector.path_cache_stats
+        assert second.hits >= 1
+        assert 0.0 < second.hit_rate <= 1.0
+        assert second.capacity == 4096
+        payload = second.to_dict()
+        assert payload["hits"] == second.hits
+        assert payload["hit_rate"] == second.hit_rate
+
+    def test_lru_cap_evicts_oldest(self, fig8):
+        detector = IncrementalDetector(fig8, max_cached_roots=1)
+        stats = detector.path_cache_stats
+        assert stats.capacity == 1
+        assert stats.size <= 1
+        assert stats.evictions >= 1  # fig8 touches several distinct roots
+
+    def test_unbounded_cache(self, fig8):
+        detector = IncrementalDetector(fig8, max_cached_roots=None)
+        stats = detector.path_cache_stats
+        assert stats.capacity is None
+        assert stats.evictions == 0
+
+    def test_capped_detector_still_matches_batch(self, fig8):
+        capped = IncrementalDetector(fig8, max_cached_roots=1)
+        batch = fast_detect(fig8)
+        assert {g.key() for g in capped.result().groups} == {
+            g.key() for g in batch.groups
+        }
+
+    def test_invalid_cap_rejected(self, fig8):
+        with pytest.raises(MiningError, match="max_cached_roots"):
+            IncrementalDetector(fig8, max_cached_roots=0)
+
+    def test_zero_hit_rate_on_fresh_detector(self, fig8):
+        detector = IncrementalDetector(antecedent_only_fig8(fig8))
+        assert detector.path_cache_stats.hit_rate == 0.0
+
+
+class TestArcQueries:
+    def test_trading_arcs_lists_live_set(self, fig8):
+        detector = IncrementalDetector(fig8)
+        arcs = detector.trading_arcs()
+        assert len(arcs) == 5 and ("C3", "C5") in arcs
+        detector.remove_trading_arc("C3", "C5")
+        assert ("C3", "C5") not in detector.trading_arcs()
+
+    def test_is_suspicious_arc(self, fig8):
+        detector = IncrementalDetector(fig8)
+        assert detector.is_suspicious_arc("C3", "C5")
+        assert not detector.is_suspicious_arc("C8", "C4")  # present, clean
+        assert not detector.is_suspicious_arc("C1", "C2")  # absent
+
+
 class TestValidation:
     def test_self_trade_rejected(self, fig8):
         detector = IncrementalDetector(fig8)

@@ -28,6 +28,17 @@ class TestParallel:
         result = detect(fig8, engine="parallel")
         assert result.engine == "parallel"
 
+    def test_engine_dispatch_forwards_processes(self, small_province_tpiin):
+        faithful = detect(small_province_tpiin)
+        result = detect(small_province_tpiin, engine="parallel", processes=2)
+        assert {g.key() for g in result.groups} == {g.key() for g in faithful.groups}
+
+    def test_incremental_engine_dispatch(self, fig8):
+        faithful = detect(fig8)
+        result = detect(fig8, engine="incremental")
+        assert result.engine == "incremental"
+        assert {g.key() for g in result.groups} == {g.key() for g in faithful.groups}
+
     def test_sub_results_sorted_by_index(self, small_province_tpiin):
         result = parallel_detect(small_province_tpiin, processes=2)
         indices = [sub.index for sub in result.sub_results]

@@ -1,0 +1,140 @@
+"""In-process HTTP round-trips: server routing + client error mapping."""
+
+import threading
+
+import pytest
+
+from repro.errors import ServiceClientError
+from repro.mining.fast import fast_detect
+from repro.service.client import ServiceClient
+from repro.service.config import ServiceConfig
+from repro.service.server import DetectionHTTPServer
+from repro.service.state import DetectionService
+
+
+@pytest.fixture()
+def served_fig8(fig8, tmp_path):
+    """A live daemon over Fig. 8 on an ephemeral port, plus its client."""
+    config = ServiceConfig(state_dir=tmp_path / "state", port=0)
+    service = DetectionService.open(fig8, config)
+    server = DetectionHTTPServer((config.host, config.port), service)
+    thread = threading.Thread(target=server.serve_forever, name="test-daemon")
+    thread.start()
+    port = server.server_address[1]
+    client = ServiceClient(f"http://127.0.0.1:{port}")
+    try:
+        yield client, service
+    finally:
+        server.shutdown()
+        thread.join()
+        server.server_close()
+        service.close()
+
+
+class TestQueries:
+    def test_healthz(self, served_fig8):
+        client, _ = served_fig8
+        health = client.wait_until_healthy()
+        assert health["status"] == "ok"
+        assert health["arcs"] == 5
+
+    def test_result_matches_batch(self, served_fig8, fig8):
+        client, _ = served_fig8
+        batch = fast_detect(fig8)
+        result = client.result()
+        assert result["engine"] == "incremental"
+        assert len(result["groups"]) == len(batch.groups)
+        assert result["suspicious_trading_arcs"] == sorted(
+            [str(a), str(b)] for a, b in batch.suspicious_trading_arcs
+        )
+
+    def test_get_arc(self, served_fig8):
+        client, _ = served_fig8
+        payload = client.arc("C3", "C5")
+        assert payload["present"] and payload["suspicious"]
+        assert payload["groups"][0]["trading_trail"] == ["L1", "C1", "C3", "C5"]
+        absent = client.arc("C1", "C2")
+        assert not absent["present"]
+
+    def test_investigate(self, served_fig8):
+        client, _ = served_fig8
+        payload = client.investigate("C5")
+        assert payload["company"] == "C5"
+        assert payload["group_count"] >= 1
+
+    def test_metrics_counts_requests(self, served_fig8):
+        client, _ = served_fig8
+        client.healthz()
+        client.result()
+        metrics = client.metrics()
+        assert metrics["requests"]["healthz"] >= 1
+        assert metrics["requests"]["result"] >= 1
+        assert metrics["latency_ms"]["result"]["count"] >= 1
+        assert metrics["arcs_tracked"] == 5
+
+    def test_metrics_reports_cache_hits_on_rework(self, served_fig8):
+        client, _ = served_fig8
+        client.remove_arc("C3", "C5")
+        client.add_arc("C3", "C5")
+        metrics = client.metrics()
+        assert metrics["path_cache"]["hits"] >= 1
+
+
+class TestMutations:
+    def test_add_and_remove_roundtrip(self, served_fig8):
+        client, _ = served_fig8
+        removed = client.remove_arc("C3", "C5")
+        assert removed["applied"] and removed["group_count"] == 1
+        readded = client.add_arc("C3", "C5")
+        assert readded["applied"] and readded["suspicious"]
+        assert readded["groups"][0]["support_trail"] == ["L1", "C2", "C5"]
+
+    def test_duplicate_add_reports_unapplied(self, served_fig8):
+        client, _ = served_fig8
+        payload = client.add_arc("C3", "C5")
+        assert not payload["applied"]
+        assert payload["suspicious"]
+
+    def test_mutations_hit_the_wal(self, served_fig8):
+        from repro.service.wal import read_wal
+
+        client, service = served_fig8
+        client.add_arc("C8", "C3")
+        records = read_wal(service._wal.path).records
+        assert [(r.op, r.seller, r.buyer) for r in records] == [("add", "C8", "C3")]
+
+
+class TestErrorMapping:
+    def test_unknown_endpoint_is_400(self, served_fig8):
+        client, _ = served_fig8
+        with pytest.raises(ServiceClientError) as err:
+            client.add_arc("C3", "NOPE")
+        assert err.value.status == 400
+        assert "unknown" in str(err.value)
+
+    def test_unknown_company_is_400(self, served_fig8):
+        client, _ = served_fig8
+        with pytest.raises(ServiceClientError) as err:
+            client.investigate("NOPE")
+        assert err.value.status == 400
+
+    def test_unknown_route_is_404(self, served_fig8):
+        client, _ = served_fig8
+        with pytest.raises(ServiceClientError) as err:
+            client._request("GET", "/nope")
+        assert err.value.status == 404
+
+    def test_bad_body_is_400(self, served_fig8):
+        client, _ = served_fig8
+        with pytest.raises(ServiceClientError) as err:
+            client._request("POST", "/arcs", body={"op": "merge", "seller": "a", "buyer": "b"})
+        assert err.value.status == 400
+        with pytest.raises(ServiceClientError) as err:
+            client._request("POST", "/arcs", body={"op": "add", "seller": 3, "buyer": "b"})
+        assert err.value.status == 400
+
+    def test_unreachable_daemon_has_status_zero(self, tmp_path):
+        client = ServiceClient("http://127.0.0.1:9", timeout=0.2)
+        with pytest.raises(ServiceClientError) as err:
+            client.healthz()
+        assert err.value.status == 0

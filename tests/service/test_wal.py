@@ -1,0 +1,152 @@
+"""WAL durability semantics: roundtrip, torn tails, corruption, healing."""
+
+import json
+
+import pytest
+
+from repro.errors import WALError
+from repro.service.wal import OP_ADD, OP_REMOVE, WALRecord, WriteAheadLog, read_wal
+
+
+def write_records(path, n=3):
+    wal, replay = WriteAheadLog.open(path)
+    assert replay.records == ()
+    with wal:
+        for i in range(n):
+            wal.append(OP_ADD, f"S{i}", f"B{i}")
+    return wal
+
+
+class TestRoundtrip:
+    def test_append_then_read(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        write_records(path, 3)
+        replay = read_wal(path)
+        assert not replay.torn_tail
+        assert [r.seq for r in replay.records] == [1, 2, 3]
+        assert replay.records[0] == WALRecord(seq=1, op=OP_ADD, seller="S0", buyer="B0")
+        assert replay.last_seq == 3
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        replay = read_wal(tmp_path / "absent.jsonl")
+        assert replay.records == () and not replay.torn_tail
+        assert replay.last_seq == 0
+
+    def test_empty_file_reads_empty(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        path.write_bytes(b"")
+        assert read_wal(path).records == ()
+
+    def test_reopen_continues_sequence(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        write_records(path, 2)
+        wal, replay = WriteAheadLog.open(path)
+        assert replay.last_seq == 2
+        with wal:
+            record = wal.append(OP_REMOVE, "S0", "B0")
+        assert record.seq == 3
+        assert [r.seq for r in read_wal(path).records] == [1, 2, 3]
+
+    def test_mixed_ops_preserved(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        wal, _ = WriteAheadLog.open(path)
+        with wal:
+            wal.append(OP_ADD, "a", "b")
+            wal.append(OP_REMOVE, "a", "b")
+        ops = [r.op for r in read_wal(path).records]
+        assert ops == [OP_ADD, OP_REMOVE]
+
+
+class TestTornTail:
+    def test_truncated_final_line_is_dropped(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        write_records(path, 3)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-7])  # chop into the final record
+        replay = read_wal(path)
+        assert replay.torn_tail
+        assert [r.seq for r in replay.records] == [1, 2]
+
+    def test_complete_record_missing_newline_is_kept(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        write_records(path, 2)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-1])  # only the trailing newline lost
+        replay = read_wal(path)
+        assert replay.torn_tail  # file still needs healing
+        assert [r.seq for r in replay.records] == [1, 2]
+
+    def test_open_heals_torn_file(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        write_records(path, 3)
+        path.write_bytes(path.read_bytes()[:-7])
+        wal, replay = WriteAheadLog.open(path)
+        assert replay.torn_tail and replay.last_seq == 2
+        with wal:
+            wal.append(OP_ADD, "X", "Y")
+        healed = read_wal(path)
+        assert not healed.torn_tail
+        assert [r.seq for r in healed.records] == [1, 2, 3]
+
+    def test_garbage_tail_is_dropped(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        write_records(path, 1)
+        with path.open("ab") as handle:
+            handle.write(b'{"seq": 2, "op"')
+        replay = read_wal(path)
+        assert replay.torn_tail
+        assert [r.seq for r in replay.records] == [1]
+
+
+class TestCorruption:
+    def test_interior_garbage_raises(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        write_records(path, 2)
+        lines = path.read_bytes().splitlines()
+        lines[0] = b"not json at all"
+        path.write_bytes(b"\n".join(lines) + b"\n")
+        with pytest.raises(WALError, match="not valid JSON"):
+            read_wal(path)
+
+    def test_non_increasing_seq_raises(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        records = [
+            WALRecord(seq=1, op=OP_ADD, seller="a", buyer="b"),
+            WALRecord(seq=1, op=OP_ADD, seller="c", buyer="d"),
+        ]
+        path.write_text("".join(r.to_json() + "\n" for r in records))
+        with pytest.raises(WALError, match="does not increase"):
+            read_wal(path)
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"op": "add", "seller": "a", "buyer": "b"},  # no seq
+            {"seq": 0, "op": "add", "seller": "a", "buyer": "b"},
+            {"seq": True, "op": "add", "seller": "a", "buyer": "b"},
+            {"seq": 1, "op": "merge", "seller": "a", "buyer": "b"},
+            {"seq": 1, "op": "add", "seller": 3, "buyer": "b"},
+        ],
+    )
+    def test_malformed_interior_record_raises(self, tmp_path, payload):
+        path = tmp_path / "wal.jsonl"
+        path.write_text(json.dumps(payload) + "\n" + json.dumps(payload) + "\n")
+        with pytest.raises(WALError):
+            read_wal(path)
+
+    def test_append_rejects_unknown_op(self, tmp_path):
+        wal, _ = WriteAheadLog.open(tmp_path / "wal.jsonl")
+        with wal, pytest.raises(WALError, match="unknown WAL operation"):
+            wal.append("merge", "a", "b")
+
+
+class TestTruncate:
+    def test_truncate_empties_but_keeps_counting(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        wal = write_records(path, 3)
+        wal.truncate()
+        assert read_wal(path).records == ()
+        with wal:
+            record = wal.append(OP_ADD, "S9", "B9")
+        assert record.seq == 4  # seq survives compaction
+        assert [r.seq for r in read_wal(path).records] == [4]

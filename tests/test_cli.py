@@ -17,8 +17,45 @@ class TestParser:
             ["mine", "a.csv", "n.csv"],
             ["table1"],
             ["investigate", "C00000"],
+            ["serve", "a.csv", "n.csv"],
         ):
             assert parser.parse_args(argv).command == argv[0]
+
+    def test_engine_choices_include_incremental(self):
+        parser = build_parser()
+        for command in ("mine", "ingest"):
+            args = parser.parse_args(
+                [command, "a.csv", "--engine", "incremental"]
+                if command == "ingest"
+                else [command, "a.csv", "n.csv", "--engine", "incremental"]
+            )
+            assert args.engine == "incremental"
+            assert args.processes is None
+
+    def test_mine_accepts_processes(self):
+        args = build_parser().parse_args(
+            ["mine", "a.csv", "n.csv", "--engine", "parallel", "--processes", "2"]
+        )
+        assert args.processes == 2
+
+    def test_serve_defaults(self, tmp_path):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "a.csv",
+                "n.csv",
+                "--port",
+                "0",
+                "--state-dir",
+                str(tmp_path / "state"),
+                "--no-fsync",
+            ]
+        )
+        assert args.host == "127.0.0.1"
+        assert args.port == 0
+        assert args.snapshot_every == 500
+        assert args.no_fsync
+        assert args.max_cached_roots == 4096
 
 
 class TestCommands:
@@ -59,6 +96,22 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "engine=fast" in out
         assert (tmp_path / "out" / "detection.json").exists()
+
+        code = main(
+            [
+                "mine",
+                str(arcs),
+                str(nodes),
+                "--engine",
+                "incremental",
+                "--out-dir",
+                str(tmp_path / "out-inc"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine=incremental" in out
+        assert (tmp_path / "out-inc" / "detection.json").exists()
 
     def test_table1_small(self, capsys):
         code = main(

@@ -143,7 +143,9 @@ def global_traversal_detect(tpiin: TPIIN, *, starts: str = "roots") -> Detection
                         )
                     )
     groups.extend(scs_suspicious_groups(tpiin))
-    total_trading = sum(1 for _ in tpiin.trading_arcs()) + len(tpiin.intra_scs_trades)
+    total_trading = tpiin.graph.number_of_arcs(EColor.TRADING) + len(
+        tpiin.intra_scs_trades
+    )
     return DetectionResult(
         groups=groups,
         total_trading_arcs=total_trading,

@@ -46,7 +46,7 @@ from repro.service.state import DetectionService
 
 __all__ = ["main", "build_parser"]
 
-_ENGINE_CHOICES = ["faithful", "fast", "parallel", "incremental"]
+_ENGINE_CHOICES = ["faithful", "fast", "csr", "parallel", "incremental"]
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -3,11 +3,13 @@
 Everything in this package is implemented from scratch (no ``networkx``
 at runtime): the colored digraph core, DFS/BFS and the ``findsubgraph``
 weak-component extraction of Appendix B, Tarjan's SCC algorithm [26], DAG
-utilities backing Property 1, the paper's ``r x 3`` edge-list format, and
-a packed-bit root-ancestor index used by the fast mining engine.
+utilities backing Property 1, the paper's ``r x 3`` edge-list format, a
+packed-bit root-ancestor index used by the fast mining engine, and the
+frozen color-partitioned CSR kernel the mining hot paths run on.
 """
 
 from repro.graph.bitset import RootAncestorIndex
+from repro.graph.csr import CSRGraph
 from repro.graph.dag import (
     ancestor_closure,
     count_paths_from_roots,
@@ -31,6 +33,7 @@ from repro.graph.traversal import (
 )
 
 __all__ = [
+    "CSRGraph",
     "DiGraph",
     "UnGraph",
     "Node",

@@ -50,7 +50,14 @@ class DiGraph:
     ['C1']
     """
 
-    __slots__ = ("_succ", "_pred", "_node_color", "_node_attrs", "_arc_count")
+    __slots__ = (
+        "_succ",
+        "_pred",
+        "_node_color",
+        "_node_attrs",
+        "_arc_count",
+        "_color_counts",
+    )
 
     def __init__(self) -> None:
         # _succ[u][v] -> set of colors; _pred mirrors it for reverse walks.
@@ -59,6 +66,10 @@ class DiGraph:
         self._node_color: dict[Node, Any] = {}
         self._node_attrs: dict[Node, dict[str, Any]] = {}
         self._arc_count = 0
+        # Per-color arc tallies so number_of_arcs(color) is O(1); every
+        # mutation path (add_arc/add_arcs/remove_arc/remove_node) keeps
+        # them in sync with the adjacency sets.
+        self._color_counts: dict[Any, int] = {}
 
     # ------------------------------------------------------------------
     # node API
@@ -125,10 +136,14 @@ class DiGraph:
             raise NodeNotFoundError(node)
         for head, colors in self._succ[node].items():
             self._arc_count -= len(colors)
+            for c in colors:
+                self._color_counts[c] -= 1
             del self._pred[head][node]
         for tail, colors in self._pred[node].items():
             if tail != node:  # self-loop colors already subtracted above
                 self._arc_count -= len(colors)
+                for c in colors:
+                    self._color_counts[c] -= 1
                 del self._succ[tail][node]
         del self._succ[node]
         del self._pred[node]
@@ -156,6 +171,7 @@ class DiGraph:
         colors.add(color)
         self._pred[head].setdefault(tail, set()).add(color)
         self._arc_count += 1
+        self._color_counts[color] = self._color_counts.get(color, 0) + 1
         return True
 
     def add_arcs(self, pairs: Iterable[tuple[Node, Node]], color: Any) -> int:
@@ -181,6 +197,8 @@ class DiGraph:
                 pred[head].setdefault(tail, set()).add(color)
                 added += 1
         self._arc_count += added
+        if added:
+            self._color_counts[color] = self._color_counts.get(color, 0) + added
         return added
 
     def has_arc(self, tail: Node, head: Node, color: Any = None) -> bool:
@@ -199,6 +217,8 @@ class DiGraph:
         if not colors or (color is not None and color not in colors):
             raise ArcNotFoundError(tail, head, color)
         if color is None:
+            for c in colors:
+                self._color_counts[c] -= 1
             removed = len(colors)
             del self._succ[tail][head]
             del self._pred[head][tail]
@@ -210,6 +230,7 @@ class DiGraph:
             del self._succ[tail][head]
             del self._pred[head][tail]
         self._arc_count -= 1
+        self._color_counts[color] -= 1
 
     def arcs(self, color: Any = None) -> Iterator[tuple[Node, Node, Any]]:
         """Iterate ``(tail, head, color)`` triples."""
@@ -222,7 +243,7 @@ class DiGraph:
     def number_of_arcs(self, color: Any = None) -> int:
         if color is None:
             return self._arc_count
-        return sum(1 for _ in self.arcs(color))
+        return self._color_counts.get(color, 0)
 
     # ------------------------------------------------------------------
     # adjacency

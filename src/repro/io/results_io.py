@@ -98,6 +98,7 @@ def detection_to_dict(result: "DetectionResult") -> dict[str, Any]:
     """
     return {
         "engine": result.engine,
+        "truncated": result.truncated,
         "subtpiin_count": result.subtpiin_count,
         "total_trading_arcs": result.total_trading_arcs,
         "cross_component_trades": result.cross_component_trades,

@@ -1,5 +1,6 @@
 """Suspicious-group mining (Section 4.3, Algorithms 1 and 2)."""
 
+from repro.mining.csr_engine import build_patterns_tree_csr, csr_detect
 from repro.mining.detector import DetectionResult, SubTPIINResult, detect
 from repro.mining.fast import fast_detect
 from repro.mining.groups import GroupKind, SuspiciousGroup, minimal_groups
@@ -36,6 +37,8 @@ __all__ = [
     "WindowResult",
     "sliding_window_detect",
     "build_patterns_tree",
+    "build_patterns_tree_csr",
+    "csr_detect",
     "ShareEstimate",
     "detect",
     "estimate_suspicious_share",

@@ -33,6 +33,7 @@ from repro.mining.matching import match_component_patterns
 from repro.mining.patterns import build_patterns_tree
 from repro.mining.scs_groups import scs_suspicious_groups
 from repro.mining.segmentation import segment
+from repro.model.colors import EColor
 
 __all__ = ["DetectionResult", "SubTPIINResult", "detect"]
 
@@ -68,6 +69,9 @@ class DetectionResult:
     engine: str
     pattern_trail_count: int | None = None
     sub_results: list[SubTPIINResult] = field(default_factory=list)
+    # True when a max_trails cap silently stopped some pattern search:
+    # every count in this result is then a lower bound, not a total.
+    truncated: bool = False
     simple_count_override: int | None = None
     complex_count_override: int | None = None
     kind_counts_override: Counter[GroupKind] | None = None
@@ -124,7 +128,7 @@ class DetectionResult:
 
     def summary(self) -> str:
         kinds = self.kind_counts()
-        return (
+        text = (
             f"engine={self.engine} subTPIINs={self.subtpiin_count} "
             f"groups={self.group_count} "
             f"(complex={self.complex_group_count}, simple={self.simple_group_count}; "
@@ -134,6 +138,9 @@ class DetectionResult:
             f"suspicious_arcs={self.suspicious_arc_count}/{self.total_trading_arcs} "
             f"({100.0 * self.suspicious_arc_share:.4f}%)"
         )
+        if self.truncated:
+            text += " [truncated: max_trails cap hit; counts are lower bounds]"
+        return text
 
     def render_sub_report(self, *, max_rows: int = 20) -> str:
         """Per-subTPIIN table (faithful/parallel engines only).
@@ -195,14 +202,18 @@ def detect(
     engine:
         ``"faithful"`` runs the paper's Algorithm 1/2 literally;
         ``"fast"`` runs the optimized equivalent engine;
-        ``"parallel"`` runs the faithful engine across worker processes;
+        ``"csr"`` runs the faithful pipeline over the frozen
+        :class:`~repro.graph.csr.CSRGraph` kernel (same groups, much
+        faster; see docs/PERFORMANCE.md);
+        ``"parallel"`` fans the CSR kernel out across worker processes;
         ``"incremental"`` streams the trading arcs through
         :class:`~repro.mining.incremental.IncrementalDetector` (useful
         to validate the streaming path against the batch engines).
     max_trails_per_subtpiin:
-        Faithful engine only: optional cap on each pattern base as a
-        safety valve (caps make the result a *lower bound*; the paper's
-        experiments run uncapped, as do ours).
+        Faithful and csr engines only: optional cap on each pattern base
+        as a safety valve; a capped run sets ``DetectionResult.truncated``
+        and its counts are *lower bounds* (the paper's experiments run
+        uncapped, as do ours).
     skip_trivial_subtpiins:
         Skip subTPIINs with no trading arc (pure optimization).
     processes:
@@ -215,6 +226,14 @@ def detect(
         from repro.mining.fast import fast_detect  # reprolint: disable=R010
 
         return fast_detect(tpiin)
+    if engine == "csr":
+        from repro.mining.csr_engine import csr_detect  # reprolint: disable=R010
+
+        return csr_detect(
+            tpiin,
+            max_trails_per_subtpiin=max_trails_per_subtpiin,
+            skip_trivial_subtpiins=skip_trivial_subtpiins,
+        )
     if engine == "parallel":
         from repro.mining.parallel import parallel_detect  # reprolint: disable=R010
 
@@ -232,10 +251,12 @@ def detect(
     groups: list[SuspiciousGroup] = []
     sub_results: list[SubTPIINResult] = []
     trail_total = 0
+    truncated = False
     for sub in segmentation.subtpiins:
         tree = build_patterns_tree(
             sub.graph, max_trails=max_trails_per_subtpiin, build_tree=False
         )
+        truncated = truncated or tree.truncated
         sub_groups = match_component_patterns(tree.trails)
         trail_total += len(tree.trails)
         groups.extend(sub_groups)
@@ -252,7 +273,9 @@ def detect(
     scs_groups = scs_suspicious_groups(tpiin)
     groups.extend(scs_groups)
 
-    total_trading = sum(1 for _ in tpiin.trading_arcs()) + len(tpiin.intra_scs_trades)
+    total_trading = tpiin.graph.number_of_arcs(EColor.TRADING) + len(
+        tpiin.intra_scs_trades
+    )
     return DetectionResult(
         groups=groups,
         total_trading_arcs=total_trading,
@@ -261,4 +284,5 @@ def detect(
         engine="faithful",
         pattern_trail_count=trail_total,
         sub_results=sub_results,
+        truncated=truncated,
     )

@@ -27,6 +27,7 @@ from collections.abc import Callable
 
 from repro.fusion.tpiin import TPIIN
 from repro.graph.bitset import RootAncestorIndex
+from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph, Node
 from repro.graph.traversal import weakly_connected_components
 from repro.mining.detector import DetectionResult
@@ -43,13 +44,18 @@ __all__ = [
 
 
 def enumerate_root_paths(
-    graph: DiGraph, root: Node, color: object = EColor.INFLUENCE
+    graph: DiGraph | CSRGraph, root: Node, color: object = EColor.INFLUENCE
 ) -> dict[Node, list[tuple[Node, ...]]]:
     """All influence paths from ``root``, grouped by their end node.
 
     Includes the trivial path ``(root,)`` under ``root`` itself — a root
     that is a company can support a group with itself as antecedent.
+    Accepts a mutable :class:`DiGraph` or a frozen :class:`CSRGraph`;
+    over the frozen kernel the walk reads pre-sorted int rows instead of
+    paying a string-keyed ``sorted(successors(...))`` per step.
     """
+    if isinstance(graph, CSRGraph):
+        return _enumerate_root_paths_csr(graph, root, color)
     by_end: dict[Node, list[tuple[Node, ...]]] = {root: [(root,)]}
     # Iterative DFS over influence arcs; the antecedent net is a DAG so
     # no on-path guard is needed, but one is kept for robustness.
@@ -72,15 +78,56 @@ def enumerate_root_paths(
     return by_end
 
 
+def _enumerate_root_paths_csr(
+    csr: CSRGraph, root: Node, color: object
+) -> dict[Node, list[tuple[Node, ...]]]:
+    """:func:`enumerate_root_paths` over the frozen kernel.
+
+    The DFS runs in id space (rows are pre-sorted, so emission order
+    matches the hash-based walk); paths are decoded as they are emitted.
+    """
+    offsets, targets = csr.out_adjacency(color)
+    decode = csr.decode_table
+    r = csr.encode(root)
+    by_end: dict[Node, list[tuple[Node, ...]]] = {root: [(root,)]}
+    path = [r]
+    on_path = {r}
+    cursor = [offsets[r]]
+    ends = [offsets[r + 1]]
+    while cursor:
+        i = cursor[-1]
+        if i == ends[-1]:
+            cursor.pop()
+            ends.pop()
+            on_path.discard(path.pop())
+            continue
+        cursor[-1] = i + 1
+        nxt = targets[i]
+        if nxt in on_path:
+            continue
+        path.append(nxt)
+        on_path.add(nxt)
+        by_end.setdefault(decode[nxt], []).append(tuple(decode[u] for u in path))
+        cursor.append(offsets[nxt])
+        ends.append(offsets[nxt + 1])
+    return by_end
+
+
 def paths_between(
-    graph: DiGraph, source: Node, target: Node, color: object = EColor.INFLUENCE
+    graph: DiGraph | CSRGraph,
+    source: Node,
+    target: Node,
+    color: object = EColor.INFLUENCE,
 ) -> list[tuple[Node, ...]]:
     """All simple influence paths ``source ~> target``.
 
     Prunes the search to nodes that can still reach ``target`` (one
     reverse DFS), so dead branches cost nothing; used for circle-group
-    enumeration where such paths are rare and short.
+    enumeration where such paths are rare and short.  Accepts a mutable
+    :class:`DiGraph` or a frozen :class:`CSRGraph`.
     """
+    if isinstance(graph, CSRGraph):
+        return _paths_between_csr(graph, source, target, color)
     can_reach: set[Node] = {target}
     stack = [target]
     while stack:
@@ -115,8 +162,56 @@ def paths_between(
     return results
 
 
+def _paths_between_csr(
+    csr: CSRGraph, source: Node, target: Node, color: object
+) -> list[tuple[Node, ...]]:
+    """:func:`paths_between` over the frozen kernel (id-space DFS)."""
+    s = csr.encode(source)
+    t = csr.encode(target)
+    in_offsets, in_targets = csr.in_adjacency(color)
+    can_reach = {t}
+    stack = [t]
+    while stack:
+        u = stack.pop()
+        for i in range(in_offsets[u], in_offsets[u + 1]):
+            prev = in_targets[i]
+            if prev not in can_reach:
+                can_reach.add(prev)
+                stack.append(prev)
+    if s not in can_reach:
+        return []
+    if s == t:
+        return [(source,)]
+    offsets, targets = csr.out_adjacency(color)
+    decode = csr.decode_table
+    results: list[tuple[Node, ...]] = []
+    path = [s]
+    on_path = {s}
+    cursor = [offsets[s]]
+    ends = [offsets[s + 1]]
+    while cursor:
+        i = cursor[-1]
+        if i == ends[-1]:
+            cursor.pop()
+            ends.pop()
+            on_path.discard(path.pop())
+            continue
+        cursor[-1] = i + 1
+        nxt = targets[i]
+        if nxt not in can_reach or nxt in on_path:
+            continue
+        if nxt == t:
+            results.append(tuple(decode[u] for u in path) + (target,))
+            continue
+        path.append(nxt)
+        on_path.add(nxt)
+        cursor.append(offsets[nxt])
+        ends.append(offsets[nxt + 1])
+    return results
+
+
 def enumerate_arc_groups(
-    graph: DiGraph,
+    graph: DiGraph | CSRGraph,
     index: RootAncestorIndex,
     paths_of: Callable[[Node], dict[Node, list[tuple[Node, ...]]]],
     c1: Node,
@@ -126,7 +221,8 @@ def enumerate_arc_groups(
 
     Shared by the batch fast engine and the streaming detector so their
     per-arc semantics cannot drift.  ``paths_of(root)`` must return the
-    per-end-node influence path lists of :func:`enumerate_root_paths`.
+    per-end-node influence path lists of :func:`enumerate_root_paths`;
+    ``graph`` may be the mutable antecedent graph or its frozen kernel.
     """
     groups: list[SuspiciousGroup] = []
     for back_path in paths_between(graph, c2, c1, EColor.INFLUENCE):
@@ -180,22 +276,27 @@ def fast_detect(tpiin: TPIIN, *, collect_groups: bool = True) -> DetectionResult
     kinds: Counter[GroupKind] = Counter()
     path_cache: dict[Node, dict[Node, list[tuple[Node, ...]]]] = {}
 
-    def paths_of(root: Node) -> dict[Node, list[tuple[Node, ...]]]:
-        cached = path_cache.get(root)
-        if cached is None:
-            cached = enumerate_root_paths(graph, root, EColor.INFLUENCE)
-            path_cache[root] = cached
-        return cached
+    if suspicious_arcs:
+        # Per-arc enumeration walks only influence arcs; freeze them
+        # into the CSR kernel once (skipped when nothing is suspicious).
+        frozen = CSRGraph.freeze(graph, colors=(EColor.INFLUENCE,))
 
-    for c1, c2 in sorted(suspicious_arcs, key=lambda a: (str(a[0]), str(a[1]))):
-        for group in enumerate_arc_groups(graph, index, paths_of, c1, c2):
-            kinds[group.kind] += 1
-            if group.is_simple:
-                simple += 1
-            else:
-                complex_ += 1
-            if collect_groups:
-                groups.append(group)
+        def paths_of(root: Node) -> dict[Node, list[tuple[Node, ...]]]:
+            cached = path_cache.get(root)
+            if cached is None:
+                cached = enumerate_root_paths(frozen, root, EColor.INFLUENCE)
+                path_cache[root] = cached
+            return cached
+
+        for c1, c2 in sorted(suspicious_arcs, key=lambda a: (str(a[0]), str(a[1]))):
+            for group in enumerate_arc_groups(frozen, index, paths_of, c1, c2):
+                kinds[group.kind] += 1
+                if group.is_simple:
+                    simple += 1
+                else:
+                    complex_ += 1
+                if collect_groups:
+                    groups.append(group)
 
     for group in scs_suspicious_groups(tpiin):
         kinds[GroupKind.SCS] += 1

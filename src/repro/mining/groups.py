@@ -77,6 +77,26 @@ class SuspiciousGroup:
                 raise MiningError("the two trails must share their end node")
 
     # ------------------------------------------------------------------
+    @classmethod
+    def trusted(
+        cls,
+        trading_trail: tuple[Node, ...],
+        support_trail: tuple[Node, ...],
+        kind: GroupKind,
+    ) -> "SuspiciousGroup":
+        """Construct without ``__post_init__`` validation.
+
+        For miners that guarantee the trail invariants by construction
+        (the CSR engine's fused DFS/matcher emits millions of groups on
+        dense settings, where per-group re-validation is pure overhead).
+        Everything else should go through the regular constructor.
+        """
+        self = object.__new__(cls)
+        _SET_TRADING(self, trading_trail)
+        _SET_SUPPORT(self, support_trail)
+        _SET_KIND(self, kind)
+        return self
+
     @property
     def antecedent(self) -> Node:
         """The shared start node of the two trails."""
@@ -135,6 +155,13 @@ class SuspiciousGroup:
 
     def __iter__(self) -> Iterator[Node]:
         return iter(sorted(self.members, key=str))
+
+
+# Slot descriptors sidestep both the frozen-dataclass __setattr__ guard
+# and object.__setattr__'s per-call attribute-name lookup in trusted().
+_SET_TRADING = SuspiciousGroup.__dict__["trading_trail"].__set__
+_SET_SUPPORT = SuspiciousGroup.__dict__["support_trail"].__set__
+_SET_KIND = SuspiciousGroup.__dict__["kind"].__set__
 
 
 def minimal_groups(groups: list[SuspiciousGroup]) -> list[SuspiciousGroup]:

@@ -10,8 +10,11 @@ arc and the (comparatively stable) antecedent network, never on other
 trading arcs.
 
 :class:`IncrementalDetector` exploits this: it indexes the antecedent
-network once (packed root-ancestor bitsets plus lazy per-root path
-caches, as in :mod:`repro.mining.fast`) and then processes trading-arc
+network once — packed root-ancestor bitsets, a frozen
+:class:`~repro.graph.csr.CSRGraph` of the influence arcs (reused for
+every path walk across the detector's lifetime, which is what the
+serving daemon amortizes between requests), and lazy per-root path
+caches as in :mod:`repro.mining.fast` — and then processes trading-arc
 insertions and deletions in isolation.  After any sequence of updates
 its aggregate result equals a batch run over the same arc set — a
 property the hypothesis suite verifies.
@@ -25,6 +28,7 @@ from dataclasses import dataclass, field
 from repro.errors import MiningError
 from repro.fusion.tpiin import TPIIN
 from repro.graph.bitset import RootAncestorIndex
+from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph, Node
 from repro.graph.traversal import weakly_connected_components
 from repro.mining.detector import DetectionResult
@@ -121,6 +125,10 @@ class IncrementalDetector:
         self._graph: DiGraph = tpiin.antecedent_graph()
         self._collect = collect_groups
         self._index = RootAncestorIndex(self._graph, EColor.INFLUENCE)
+        # The antecedent side is immutable for the detector's lifetime:
+        # freeze it once and let every per-arc path walk (across all
+        # requests of a serving daemon) run over the CSR kernel.
+        self._csr = CSRGraph.freeze(self._graph, colors=(EColor.INFLUENCE,))
         self._max_cached_roots = max_cached_roots
         self._path_cache: OrderedDict[
             Node, dict[Node, list[tuple[Node, ...]]]
@@ -271,7 +279,7 @@ class IncrementalDetector:
             self._path_cache.move_to_end(root)
             return cached
         self._cache_misses += 1
-        cached = enumerate_root_paths(self._graph, root, EColor.INFLUENCE)
+        cached = enumerate_root_paths(self._csr, root, EColor.INFLUENCE)
         self._path_cache[root] = cached
         if (
             self._max_cached_roots is not None
@@ -306,7 +314,7 @@ class IncrementalDetector:
             ]
 
         return enumerate_arc_groups(
-            self._graph, self._index, self._paths_of, c1, c2
+            self._csr, self._index, self._paths_of, c1, c2
         )
 
     def _account(self, groups: list[SuspiciousGroup], *, sign: int) -> None:

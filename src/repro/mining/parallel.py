@@ -2,11 +2,17 @@
 
 Algorithm 1's divide-and-conquer segmentation makes the mining
 embarrassingly parallel: each subTPIIN is mined independently and only
-the group lists are merged.  This module distributes the faithful
-per-subTPIIN pipeline (Algorithm 2 + matching) over a process pool.
+the group lists are merged.  This module distributes the per-subTPIIN
+pipeline (Algorithm 2 + matching, in its CSR-kernel form) over a
+process pool.
 
-Worker payloads are the induced subTPIIN graphs, which pickle via the
-explicit ``__getstate__`` support on :class:`~repro.graph.digraph.DiGraph`.
+Worker payloads are **frozen CSR kernels**, not pickled
+dict-of-dict :class:`~repro.graph.digraph.DiGraph` objects: the
+``(offsets, targets)`` arrays pickle as flat byte blobs, so IPC ships a
+fraction of the bytes and workers unpickle buffers instead of
+rebuilding hash tables.  Payloads are ordered **largest-first** (LPT
+scheduling) so one giant subTPIIN starts immediately instead of
+tail-blocking the pool from the last chunk.
 """
 
 from __future__ import annotations
@@ -15,23 +21,22 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 
 from repro.fusion.tpiin import TPIIN
-from repro.graph.digraph import DiGraph
+from repro.graph.csr import CSRGraph
+from repro.mining.csr_engine import freeze_subtpiin, mine_frozen
 from repro.mining.detector import DetectionResult, SubTPIINResult
 from repro.mining.groups import SuspiciousGroup
-from repro.mining.matching import match_component_patterns
-from repro.mining.patterns import build_patterns_tree
 from repro.mining.scs_groups import scs_suspicious_groups
 from repro.mining.segmentation import segment
+from repro.model.colors import EColor
 
 __all__ = ["parallel_detect"]
 
 
-def _mine_one(payload: tuple[int, DiGraph]) -> tuple[int, int, list[SuspiciousGroup]]:
-    """Worker: mine one subTPIIN graph; returns (index, trails, groups)."""
-    index, graph = payload
-    tree = build_patterns_tree(graph, build_tree=False)
-    groups = match_component_patterns(tree.trails)
-    return index, len(tree.trails), groups
+def _mine_one(payload: tuple[int, CSRGraph]) -> tuple[int, int, list[SuspiciousGroup]]:
+    """Worker: mine one frozen subTPIIN; returns (index, trails, groups)."""
+    index, csr = payload
+    trail_count, _truncated, groups = mine_frozen(csr)
+    return index, trail_count, groups
 
 
 def parallel_detect(
@@ -40,7 +45,7 @@ def parallel_detect(
     processes: int | None = None,
     min_subtpiins_for_pool: int = 2,
 ) -> DetectionResult:
-    """Faithful detection with subTPIINs fanned out across processes.
+    """CSR-kernel detection with subTPIINs fanned out across processes.
 
     Falls back to in-process execution when there are fewer than
     ``min_subtpiins_for_pool`` non-trivial subTPIINs (pool startup would
@@ -48,7 +53,13 @@ def parallel_detect(
     up to group ordering; the property suite compares them as sets.
     """
     segmentation = segment(tpiin, skip_trivial=True)
-    payloads = [(sub.index, sub.graph) for sub in segmentation.subtpiins]
+    payloads = [
+        (sub.index, freeze_subtpiin(sub.graph)) for sub in segmentation.subtpiins
+    ]
+    # Largest-first: the heaviest kernels enter the pool first, so the
+    # slowest subTPIIN overlaps with everything else instead of being
+    # scheduled last and stretching the tail.
+    payloads.sort(key=lambda p: p[1].number_of_arcs(), reverse=True)
 
     outcomes: list[tuple[int, int, list[SuspiciousGroup]]]
     if len(payloads) < min_subtpiins_for_pool:
@@ -82,7 +93,9 @@ def parallel_detect(
         )
     groups.extend(scs_suspicious_groups(tpiin))
 
-    total_trading = sum(1 for _ in tpiin.trading_arcs()) + len(tpiin.intra_scs_trades)
+    total_trading = tpiin.graph.number_of_arcs(EColor.TRADING) + len(
+        tpiin.intra_scs_trades
+    )
     return DetectionResult(
         groups=groups,
         total_trading_arcs=total_trading,

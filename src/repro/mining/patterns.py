@@ -125,11 +125,17 @@ class PatternTreeNode:
 
 @dataclass(slots=True)
 class PatternsTreeResult:
-    """The patterns tree plus its flattened component pattern base."""
+    """The patterns tree plus its flattened component pattern base.
+
+    ``truncated`` is ``True`` when a ``max_trails`` cap stopped the
+    search early, i.e. ``trails`` is a prefix of the full pattern base
+    and every result derived from it is a lower bound.
+    """
 
     roots: list[PatternTreeNode]
     trails: list[PatternTrail]
     list_d: list[Node]
+    truncated: bool = False
 
     def render_tree(self) -> str:
         """Fig. 9-style indented rendering of the whole forest."""
@@ -195,18 +201,15 @@ def build_patterns_tree(
     trails: list[PatternTrail] = []
     forest: list[PatternTreeNode] = []
 
-    for start in start_nodes:
-        root = PatternTreeNode(start) if build_tree else None
-        if root is not None:
-            forest.append(root)
-        # Iterative DFS.  Each stack frame: (node, tree_node, iterator of
-        # remaining out-arcs).  `path`/`on_path` hold the influence walk.
-        path: list[Node] = [start]
-        on_path: set[Node] = {start}
-        emitted_any: list[bool] = [False]
+    # Sorted (successor, is_trading) lists, memoized per node for the
+    # duration of this call: a node revisited along many walks pays the
+    # O(d log d) string sort once, not once per DFS step.
+    arc_cache: dict[Node, tuple[tuple[Node, bool], ...]] = {}
 
-        def out_arcs_of(node: Node) -> Iterator[tuple[Node, bool]]:
-            """(successor, is_trading) pairs in deterministic order."""
+    def out_arcs_of(node: Node) -> Iterator[tuple[Node, bool]]:
+        """(successor, is_trading) pairs in deterministic order."""
+        cached = arc_cache.get(node)
+        if cached is None:
             pairs: list[tuple[Node, bool]] = []
             for head, colors in sorted(
                 ((h, graph.arc_colors(node, h)) for h in graph.successors(node)),
@@ -216,7 +219,19 @@ def build_patterns_tree(
                     pairs.append((head, False))
                 if EColor.TRADING in colors:
                     pairs.append((head, True))
-            return iter(pairs)
+            cached = tuple(pairs)
+            arc_cache[node] = cached
+        return iter(cached)
+
+    for start in start_nodes:
+        root = PatternTreeNode(start) if build_tree else None
+        if root is not None:
+            forest.append(root)
+        # Iterative DFS.  Each stack frame: (node, tree_node, iterator of
+        # remaining out-arcs).  `path`/`on_path` hold the influence walk.
+        path: list[Node] = [start]
+        on_path: set[Node] = {start}
+        emitted_any: list[bool] = [False]
 
         stack: list[tuple[Node, PatternTreeNode | None, Iterator[tuple[Node, bool]]]] = [
             (start, root, out_arcs_of(start))
@@ -245,7 +260,7 @@ def build_patterns_tree(
                         PatternTreeNode(successor, via_trading=True)
                     )
                 if max_trails is not None and len(trails) >= max_trails:
-                    return PatternsTreeResult(forest, trails, list_d)
+                    return PatternsTreeResult(forest, trails, list_d, truncated=True)
                 continue
             if successor in on_path:
                 # Cannot happen on a valid (DAG) antecedent network;
@@ -260,5 +275,5 @@ def build_patterns_tree(
             emitted_any.append(False)
             stack.append((successor, child, out_arcs_of(successor)))
             if max_trails is not None and len(trails) >= max_trails:
-                return PatternsTreeResult(forest, trails, list_d)
+                return PatternsTreeResult(forest, trails, list_d, truncated=True)
     return PatternsTreeResult(forest, trails, list_d)

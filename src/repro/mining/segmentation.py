@@ -105,7 +105,7 @@ def segment(tpiin: TPIIN, *, skip_trivial: bool = False) -> SegmentationResult:
         subgraphs[component_of[tail]].add_arc(tail, head, EColor.INFLUENCE)
 
     cross: list[tuple[Node, Node]] = []
-    for tail, head in tpiin.trading_arcs():
+    for tail, head, _color in graph.arcs(EColor.TRADING):
         tail_component = component_of[tail]
         if tail_component == component_of[head]:
             subgraphs[tail_component].add_arc(tail, head, EColor.TRADING)

@@ -1,0 +1,160 @@
+"""Unit tests for the frozen CSR kernel (`repro.graph.csr`)."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.errors import NodeNotFoundError
+from repro.graph.csr import CSRGraph
+from repro.graph.digraph import DiGraph
+from repro.model.colors import EColor, VColor
+
+
+def sample_graph() -> DiGraph:
+    g = DiGraph()
+    g.add_node("P1", VColor.PERSON)
+    for c in ("C1", "C2", "C3"):
+        g.add_node(c, VColor.COMPANY)
+    g.add_arc("P1", "C1", EColor.INFLUENCE)
+    g.add_arc("C1", "C2", EColor.INFLUENCE)
+    g.add_arc("C1", "C3", EColor.INFLUENCE)
+    # Multi-color parallel arcs: C1 both influences and trades with C2.
+    g.add_arc("C1", "C2", EColor.TRADING)
+    g.add_arc("C3", "C2", EColor.TRADING)
+    return g
+
+
+class TestFreeze:
+    def test_interning_is_str_sorted(self):
+        csr = CSRGraph.freeze(sample_graph())
+        assert list(csr.decode_table) == ["C1", "C2", "C3", "P1"]
+        assert [csr.encode(n) for n in csr.decode_table] == [0, 1, 2, 3]
+        assert csr.decode(3) == "P1"
+
+    def test_node_colors_survive(self):
+        csr = CSRGraph.freeze(sample_graph())
+        assert csr.node_color("P1") is VColor.PERSON
+        assert csr.node_color("C2") is VColor.COMPANY
+        assert csr.node_color_id(csr.encode("P1")) is VColor.PERSON
+
+    def test_arc_colors_and_parallel_arcs(self):
+        csr = CSRGraph.freeze(sample_graph())
+        assert csr.arc_colors("C1", "C2") == frozenset(
+            {EColor.INFLUENCE, EColor.TRADING}
+        )
+        assert csr.arc_colors("C3", "C2") == frozenset({EColor.TRADING})
+        assert csr.arc_colors("C2", "C1") == frozenset()
+        assert csr.has_arc("C1", "C2")
+        assert csr.has_arc("C1", "C2", EColor.TRADING)
+        assert not csr.has_arc("P1", "C1", EColor.TRADING)
+
+    def test_degrees_match_source(self):
+        g = sample_graph()
+        csr = CSRGraph.freeze(g)
+        for node in g.nodes():
+            for color in (None, EColor.INFLUENCE, EColor.TRADING):
+                assert csr.out_degree(node, color) == g.out_degree(node, color)
+                assert csr.in_degree(node, color) == g.in_degree(node, color)
+
+    def test_successors_are_sorted(self):
+        csr = CSRGraph.freeze(sample_graph())
+        assert list(csr.successors("C1", EColor.INFLUENCE)) == ["C2", "C3"]
+        assert list(csr.predecessors("C2", EColor.TRADING)) == ["C1", "C3"]
+        offsets, targets = csr.out_adjacency(EColor.INFLUENCE)
+        u = csr.encode("C1")
+        row = list(targets[offsets[u] : offsets[u + 1]])
+        assert row == sorted(row)
+
+    def test_arc_counts(self):
+        csr = CSRGraph.freeze(sample_graph())
+        assert csr.number_of_arcs(EColor.INFLUENCE) == 3
+        assert csr.number_of_arcs(EColor.TRADING) == 2
+        assert csr.number_of_arcs() == 5
+
+    def test_root_ids(self):
+        csr = CSRGraph.freeze(sample_graph())
+        assert [csr.decode(u) for u in csr.root_ids(EColor.INFLUENCE)] == ["P1"]
+        # Under the trading partition, C1 and C3 receive nothing.
+        assert [csr.decode(u) for u in csr.root_ids(EColor.TRADING)] == [
+            "C1",
+            "C3",
+            "P1",
+        ]
+
+    def test_color_restriction_drops_other_arcs(self):
+        csr = CSRGraph.freeze(sample_graph(), colors=(EColor.INFLUENCE,))
+        assert csr.arc_color_domain == (EColor.INFLUENCE,)
+        assert csr.number_of_arcs() == 3
+        with pytest.raises(ValueError):
+            csr.out_adjacency(EColor.TRADING)
+
+    def test_unknown_node_raises(self):
+        csr = CSRGraph.freeze(sample_graph())
+        with pytest.raises(NodeNotFoundError):
+            csr.encode("missing")
+        with pytest.raises(NodeNotFoundError):
+            list(csr.successors("missing", EColor.INFLUENCE))
+
+
+class TestRoundTrip:
+    def test_thaw_reproduces_graph(self):
+        g = sample_graph()
+        thawed = CSRGraph.freeze(g).to_digraph()
+        assert set(thawed.nodes()) == set(g.nodes())
+        assert {(t, h, c) for t, h, c in thawed.arcs()} == {
+            (t, h, c) for t, h, c in g.arcs()
+        }
+        for node in g.nodes():
+            assert thawed.node_color(node) == g.node_color(node)
+
+    def test_refreeze_is_stable(self):
+        csr = CSRGraph.freeze(sample_graph())
+        again = CSRGraph.freeze(csr.to_digraph())
+        assert again.decode_table == csr.decode_table
+        for color in csr.arc_color_domain:
+            assert again.out_adjacency(color) == csr.out_adjacency(color)
+            assert again.in_adjacency(color) == csr.in_adjacency(color)
+
+    def test_empty_graph(self):
+        csr = CSRGraph.freeze(DiGraph())
+        assert len(csr) == 0
+        assert csr.number_of_arcs() == 0
+        assert csr.arc_color_domain == ()
+
+    def test_isolated_nodes_survive(self):
+        g = DiGraph()
+        g.add_node("lonely", VColor.COMPANY)
+        csr = CSRGraph.freeze(g, colors=(EColor.INFLUENCE,))
+        assert "lonely" in csr
+        assert csr.out_degree("lonely", EColor.INFLUENCE) == 0
+
+
+class TestPickle:
+    def test_pickle_round_trip(self):
+        csr = CSRGraph.freeze(sample_graph())
+        clone = pickle.loads(pickle.dumps(csr))
+        assert clone.decode_table == csr.decode_table
+        assert clone.arc_color_domain == csr.arc_color_domain
+        for color in csr.arc_color_domain:
+            assert clone.out_adjacency(color) == csr.out_adjacency(color)
+            assert clone.in_adjacency(color) == csr.in_adjacency(color)
+        assert list(clone.successors("C1", EColor.INFLUENCE)) == ["C2", "C3"]
+
+    def test_pickle_is_smaller_than_digraph(self):
+        # The IPC motivation: frozen buffers beat dict-of-dict pickles.
+        g = DiGraph()
+        for i in range(300):
+            g.add_node(f"C{i:04d}", VColor.COMPANY)
+        for i in range(299):
+            g.add_arc(f"C{i:04d}", f"C{i + 1:04d}", EColor.INFLUENCE)
+            g.add_arc(f"C{i + 1:04d}", f"C{i:04d}", EColor.TRADING)
+        frozen = pickle.dumps(CSRGraph.freeze(g))
+        loose = pickle.dumps(g)
+        assert len(frozen) < len(loose)
+
+    def test_nbytes_reports_buffer_size(self):
+        csr = CSRGraph.freeze(sample_graph())
+        # 2 colors x 2 directions x (5 offsets + targets) 8-byte entries.
+        assert csr.nbytes == 8 * (2 * 2 * 5 + 2 * (3 + 2))

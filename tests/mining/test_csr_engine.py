@@ -1,0 +1,95 @@
+"""Unit tests for the CSR mining engine (`repro.mining.csr_engine`)."""
+
+from __future__ import annotations
+
+from repro.mining.csr_engine import (
+    build_patterns_tree_csr,
+    csr_detect,
+    freeze_subtpiin,
+    merged_out_arcs,
+    mine_frozen,
+)
+from repro.mining.detector import detect
+from repro.mining.patterns import build_patterns_tree
+from repro.mining.segmentation import segment
+from repro.model.colors import EColor
+
+
+class TestTrailEnumerator:
+    def test_trails_equal_faithful_in_order(self, fig8):
+        for sub in segment(fig8).subtpiins:
+            faithful = build_patterns_tree(sub.graph, build_tree=False)
+            csr = build_patterns_tree_csr(sub.graph, build_tree=False)
+            assert csr.trails == faithful.trails
+            assert csr.list_d == faithful.list_d
+            assert not csr.truncated
+
+    def test_forest_rendering_matches(self, fig8):
+        for sub in segment(fig8).subtpiins:
+            faithful = build_patterns_tree(sub.graph)
+            csr = build_patterns_tree_csr(sub.graph)
+            assert csr.render_tree() == faithful.render_tree()
+            assert csr.render_base() == faithful.render_base()
+
+    def test_accepts_prefrozen_kernel(self, fig8):
+        sub = segment(fig8).subtpiins[0]
+        frozen = freeze_subtpiin(sub.graph)
+        assert (
+            build_patterns_tree_csr(frozen, build_tree=False).trails
+            == build_patterns_tree(sub.graph, build_tree=False).trails
+        )
+
+    def test_max_trails_truncation_matches_faithful(self, fig8):
+        sub = segment(fig8).subtpiins[0]
+        faithful = build_patterns_tree(sub.graph, max_trails=4, build_tree=False)
+        csr = build_patterns_tree_csr(sub.graph, max_trails=4, build_tree=False)
+        assert csr.trails == faithful.trails
+        assert csr.truncated and faithful.truncated
+
+    def test_merged_arcs_interleave_influence_before_trading(self, fig8):
+        sub = segment(fig8).subtpiins[0]
+        frozen = freeze_subtpiin(sub.graph)
+        in_offs, _ = frozen.out_adjacency(EColor.INFLUENCE)
+        for u, arcs in enumerate(merged_out_arcs(frozen)):
+            assert list(arcs) == sorted(arcs)  # (target, influence-first)
+            influence = [v for v, trading in arcs if not trading]
+            assert len(influence) == in_offs[u + 1] - in_offs[u]
+
+
+class TestCsrDetect:
+    def test_equals_faithful_on_fig8(self, fig8):
+        faithful = detect(fig8, engine="faithful")
+        csr = csr_detect(fig8)
+        assert {g.key() for g in csr.groups} == {g.key() for g in faithful.groups}
+        assert csr.suspicious_trading_arcs == faithful.suspicious_trading_arcs
+        assert csr.pattern_trail_count == faithful.pattern_trail_count
+        assert csr.subtpiin_count == faithful.subtpiin_count
+        assert csr.engine == "csr"
+        assert not csr.truncated
+
+    def test_equals_faithful_on_province(self, small_province_tpiin):
+        faithful = detect(small_province_tpiin, engine="faithful")
+        csr = detect(small_province_tpiin, engine="csr")
+        assert {g.key() for g in csr.groups} == {g.key() for g in faithful.groups}
+        assert csr.pattern_trail_count == faithful.pattern_trail_count
+        assert len(csr.sub_results) == len(faithful.sub_results)
+
+    def test_engine_dispatch(self, fig8):
+        result = detect(fig8, engine="csr")
+        assert result.engine == "csr"
+
+    def test_truncated_surfaces_in_result_and_summary(self, fig8):
+        capped = detect(fig8, engine="csr", max_trails_per_subtpiin=2)
+        assert capped.truncated
+        assert "truncated" in capped.summary()
+        uncapped = detect(fig8, engine="csr")
+        assert not uncapped.truncated
+        assert "truncated" not in uncapped.summary()
+
+    def test_mine_frozen_counts(self, fig8):
+        sub = segment(fig8).subtpiins[0]
+        trail_count, truncated, groups = mine_frozen(freeze_subtpiin(sub.graph))
+        tree = build_patterns_tree(sub.graph, build_tree=False)
+        assert trail_count == len(tree.trails)
+        assert not truncated
+        assert groups  # fig8 hosts suspicious groups

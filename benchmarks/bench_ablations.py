@@ -14,7 +14,7 @@ import time
 from benchmarks.conftest import write_report
 from repro.analysis.reporting import render_table
 from repro.mining.detector import detect
-from repro.mining.fast import fast_detect
+from repro.mining.detector import detect
 from repro.mining.matching import match_component_patterns
 from repro.mining.parallel import parallel_detect
 from repro.mining.patterns import build_patterns_tree
@@ -42,7 +42,7 @@ def test_a2_faithful_engine(benchmark, medium_tpiin):
 
 
 def test_a2_fast_engine(benchmark, medium_tpiin):
-    result = benchmark(lambda: fast_detect(medium_tpiin, collect_groups=False))
+    result = benchmark(lambda: detect(medium_tpiin, engine="fast", collect_groups=False))
     assert result.group_count > 0
 
 
@@ -62,7 +62,7 @@ def test_ablation_report(benchmark, medium_tpiin):
         variants = (
             ("faithful (segmented)", lambda: detect(medium_tpiin)),
             ("faithful (unsegmented)", lambda: _detect_unsegmented(medium_tpiin)),
-            ("fast", lambda: fast_detect(medium_tpiin, collect_groups=False)),
+            ("fast", lambda: detect(medium_tpiin, engine="fast", collect_groups=False)),
             ("parallel x4", lambda: parallel_detect(medium_tpiin, processes=4)),
         )
         rows = []

@@ -19,7 +19,7 @@ from repro.baseline.global_traversal import global_traversal_detect
 from repro.datagen.config import ProvinceConfig
 from repro.datagen.province import generate_province
 from repro.mining.detector import detect
-from repro.mining.fast import fast_detect
+from repro.mining.detector import detect
 
 SIZES = (60, 120, 240)
 
@@ -40,7 +40,7 @@ def test_faithful_engine(benchmark, companies):
 @pytest.mark.parametrize("companies", SIZES)
 def test_fast_engine(benchmark, companies):
     tpiin = _tpiin_for(companies)
-    result = benchmark(lambda: fast_detect(tpiin, collect_groups=False))
+    result = benchmark(lambda: detect(tpiin, engine="fast", collect_groups=False))
     assert result.suspicious_arc_count >= 0
 
 
@@ -63,7 +63,7 @@ def test_efficiency_report(benchmark):
             timings = {}
             for name, runner in (
                 ("faithful", lambda: detect(tpiin)),
-                ("fast", lambda: fast_detect(tpiin, collect_groups=False)),
+                ("fast", lambda: detect(tpiin, engine="fast", collect_groups=False)),
                 ("baseline", lambda: global_traversal_detect(tpiin)),
             ):
                 started = time.perf_counter()

@@ -17,7 +17,7 @@ from repro.datagen.config import ProvinceConfig, TradingConfig
 from repro.datagen.province import generate_province
 from repro.datagen.trading import random_trading_arcs
 from repro.fusion.tpiin import TPIIN
-from repro.mining.fast import fast_detect
+from repro.mining.detector import detect
 from repro.mining.incremental import IncrementalDetector
 from repro.model.colors import EColor
 
@@ -54,7 +54,7 @@ def test_batch_equivalent(benchmark):
             scs_subgraphs=dict(base.scs_subgraphs),
         )
         tpiin.graph.add_arcs(feed, EColor.TRADING)
-        return fast_detect(tpiin, collect_groups=False)
+        return detect(tpiin, engine="fast", collect_groups=False)
 
     result = benchmark.pedantic(batch, rounds=1, iterations=1)
     assert result.total_trading_arcs == len(set(feed))

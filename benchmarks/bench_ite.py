@@ -18,14 +18,14 @@ from repro.datagen.province import generate_province
 from repro.ite.adjudication import adjudicate_transaction
 from repro.ite.pipeline import run_two_phase
 from repro.ite.transactions import SimulationConfig, simulate_transactions
-from repro.mining.fast import fast_detect
+from repro.mining.detector import detect
 
 
 def _setup():
     ds = generate_province(ProvinceConfig.small(companies=300, seed=41))
     base = ds.antecedent_tpiin()
     tpiin = ds.overlay_trading(base, 0.01)
-    detection = fast_detect(tpiin)
+    detection = detect(tpiin, engine="fast")
     industry_of = {
         c.company_id: c.industry for c in ds.registry.companies.values()
     }

@@ -19,7 +19,7 @@ from benchmarks.conftest import write_report
 from repro.analysis.reporting import render_table
 from repro.datagen.config import ProvinceConfig
 from repro.datagen.province import generate_province
-from repro.mining.fast import fast_detect
+from repro.mining.detector import detect
 
 SIZES = (500, 1000, 2000, 4000)
 PROBABILITY = 0.01
@@ -35,9 +35,9 @@ def _tpiin_for(companies: int):
 def test_scaling_detection(benchmark, companies):
     tpiin = _tpiin_for(companies)
     result = benchmark.pedantic(
-        fast_detect,
+        detect,
         args=(tpiin,),
-        kwargs={"collect_groups": False},
+        kwargs={"engine": "fast", "collect_groups": False},
         rounds=1,
         iterations=1,
     )
@@ -50,7 +50,7 @@ def test_scaling_report(benchmark):
         for companies in SIZES:
             tpiin = _tpiin_for(companies)
             started = time.perf_counter()
-            result = fast_detect(tpiin, collect_groups=False)
+            result = detect(tpiin, engine="fast", collect_groups=False)
             seconds = time.perf_counter() - started
             per_arc_us = 1e6 * seconds / max(1, result.total_trading_arcs)
             rows.append(

@@ -18,7 +18,7 @@ from benchmarks.conftest import write_report
 from repro.analysis.metrics import Table1Row, compute_table1_row
 from repro.analysis.reporting import render_table
 from repro.analysis.table1 import PAPER_TABLE1
-from repro.mining.fast import fast_detect
+from repro.mining.detector import detect
 
 #: Reduced sweep used by the benchmark run.
 BENCH_PROBABILITIES = (0.002, 0.004, 0.01, 0.02, 0.05, 0.1)
@@ -30,9 +30,9 @@ def test_table1_detection(benchmark, paper_province, paper_base, probability):
     tpiin = paper_province.overlay_trading(paper_base, probability)
 
     result = benchmark.pedantic(
-        fast_detect,
+        detect,
         args=(tpiin,),
-        kwargs={"collect_groups": False},
+        kwargs={"engine": "fast", "collect_groups": False},
         rounds=1,
         iterations=1,
     )
@@ -52,7 +52,7 @@ def test_table1_report(benchmark, paper_province, paper_base):
         rows: list[Table1Row] = []
         for probability in BENCH_PROBABILITIES:
             tpiin = paper_province.overlay_trading(paper_base, probability)
-            detection = fast_detect(tpiin, collect_groups=False)
+            detection = detect(tpiin, engine="fast", collect_groups=False)
             rows.append(
                 compute_table1_row(
                     tpiin, detection, trading_probability=probability

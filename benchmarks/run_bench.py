@@ -35,6 +35,7 @@ from repro.datagen.province import generate_province  # noqa: E402
 from repro.fusion.tpiin import TPIIN  # noqa: E402
 from repro.mining.detector import DetectionResult, detect  # noqa: E402
 from repro.model.colors import EColor, VColor  # noqa: E402
+from repro.obs.tracing import Tracer  # noqa: E402
 
 #: (label, companies, trading probability) — ordered sparsest to densest.
 #: The densest settings add investment cross-arcs (path multiplicity),
@@ -183,6 +184,51 @@ def bench_setting(
     return setting
 
 
+def write_trace_jsonl(
+    settings: tuple[tuple[str, int, float], ...],
+    engine: str,
+    path: Path,
+) -> None:
+    """Run one traced detect on the first setting and write span JSONL."""
+    label, companies, probability = settings[0]
+    tpiin = build_tpiin(companies, probability)
+    tracer = Tracer()
+    detect(tpiin, engine=engine, trace=tracer)
+    path.write_text(tracer.to_jsonl() + "\n")
+    print(f"wrote {tracer.span_count()} spans for {label}/{engine} to {path}")
+
+
+def compare_reports(
+    new_report: dict[str, Any], old_report: dict[str, Any], tolerance: float
+) -> list[str]:
+    """Wall-time regressions beyond ``tolerance`` vs an older report.
+
+    Compares only (setting, engine) cells present in both reports, so a
+    baseline from a different sweep shape degrades to a partial check
+    rather than an error.
+    """
+    old_settings = {s["label"]: s for s in old_report.get("settings", [])}
+    regressions: list[str] = []
+    for setting in new_report["settings"]:
+        old_setting = old_settings.get(setting["label"])
+        if old_setting is None:
+            continue
+        for engine, cell in setting["engines"].items():
+            old_cell = old_setting.get("engines", {}).get(engine)
+            if old_cell is None:
+                continue
+            old_wall = old_cell["wall_seconds"]
+            new_wall = cell["wall_seconds"]
+            if old_wall > 0 and new_wall > old_wall * (1.0 + tolerance):
+                regressions.append(
+                    f"{setting['label']}/{engine}: {new_wall:.3f}s vs "
+                    f"baseline {old_wall:.3f}s "
+                    f"(+{(new_wall / old_wall - 1.0) * 100.0:.1f}%, "
+                    f"tolerance {tolerance * 100.0:.0f}%)"
+                )
+    return regressions
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -203,6 +249,28 @@ def main(argv: list[str] | None = None) -> int:
         choices=ENGINES,
         default=list(ENGINES),
         help="subset of engines to run (default: all)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        help="also run one traced detect on the first setting and write "
+        "its span JSONL here (CI artifact)",
+    )
+    parser.add_argument(
+        "--compare",
+        type=Path,
+        default=None,
+        metavar="OLD.json",
+        help="compare wall times against an older report; exit non-zero "
+        "on regressions beyond --tolerance",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.03,
+        help="allowed fractional wall-time regression for --compare "
+        "(default: 0.03)",
     )
     args = parser.parse_args(argv)
 
@@ -247,9 +315,21 @@ def main(argv: list[str] | None = None) -> int:
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")
 
+    if args.trace_out is not None:
+        write_trace_jsonl(settings, engines[0], args.trace_out)
+
     if not all(s["engines_agree"] for s in results):
         print("FAIL: engine group sets disagree", file=sys.stderr)
         return 1
+
+    if args.compare is not None:
+        baseline = json.loads(args.compare.read_text())
+        regressions = compare_reports(report, baseline, args.tolerance)
+        for line in regressions:
+            print(f"REGRESSION: {line}", file=sys.stderr)
+        if regressions:
+            return 1
+        print(f"no wall-time regressions vs {args.compare}")
     return 0
 
 

@@ -22,7 +22,7 @@ from repro.analysis import run_table1
 from repro.analysis.investigate import investigate_company
 from repro.datagen import PAPER_TRADING_PROBABILITIES, ProvinceConfig, generate_province
 from repro.io.graphml import write_graphml, write_ungraph_graphml
-from repro.mining import fast_detect
+from repro.mining import detect
 
 REDUCED_PROBABILITIES = (0.002, 0.004, 0.01, 0.02, 0.05, 0.1)
 
@@ -62,7 +62,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.investigate:
         base = dataset.antecedent_tpiin()
         tpiin = dataset.overlay_trading(base, 0.002)
-        result = fast_detect(tpiin)
+        result = detect(tpiin, engine="fast")
         briefing = investigate_company(tpiin, result, args.investigate)
         print(briefing.render())
         print()

@@ -27,7 +27,7 @@ from pathlib import Path
 
 from repro.datagen import ProvinceConfig, generate_province
 from repro.io.edge_list_io import write_tpiin_csv
-from repro.mining.fast import fast_detect
+from repro.mining.detector import detect
 from repro.service import ServiceClient
 
 
@@ -82,7 +82,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     base = dataset.antecedent_tpiin()
     tpiin = dataset.overlay_trading(base, args.probability)
-    batch = fast_detect(tpiin)
+    batch = detect(tpiin, engine="fast")
     print(
         f"dataset: {batch.total_trading_arcs} trading arcs, "
         f"{batch.group_count} suspicious groups in batch"

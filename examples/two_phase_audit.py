@@ -18,7 +18,7 @@ import sys
 from repro.analysis.investigate import investigate_company
 from repro.datagen import ProvinceConfig, generate_province
 from repro.ite import SimulationConfig, run_two_phase, simulate_transactions
-from repro.mining import fast_detect
+from repro.mining import detect
 from repro.weights import rank_trading_arcs
 
 
@@ -36,7 +36,7 @@ def main(argv: list[str] | None = None) -> int:
     tpiin = dataset.overlay_trading(base, args.probability)
 
     print("Phase 1 — MSG: mining suspicious groups")
-    detection = fast_detect(tpiin)
+    detection = detect(tpiin, engine="fast")
     print(" ", detection.summary())
     print()
 

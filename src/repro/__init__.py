@@ -35,8 +35,10 @@ Quick start::
 """
 
 from repro.fusion import TPIIN, fuse
-from repro.mining import (
+from repro.mining import (  # reprolint: disable=R011  (deprecated alias stays exported)
     DetectionResult,
+    DetectOptions,
+    Engine,
     GroupKind,
     SuspiciousGroup,
     detect,
@@ -46,7 +48,9 @@ from repro.mining import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "DetectOptions",
     "DetectionResult",
+    "Engine",
     "GroupKind",
     "SuspiciousGroup",
     "TPIIN",

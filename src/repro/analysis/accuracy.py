@@ -15,7 +15,6 @@ from repro.baseline.global_traversal import global_traversal_detect
 from repro.fusion.tpiin import TPIIN
 from repro.graph.digraph import Node
 from repro.mining.detector import DetectionResult, detect
-from repro.mining.fast import fast_detect
 from repro.mining.oracle import suspicious_arc_oracle
 
 __all__ = ["AccuracyReport", "compare_engines"]
@@ -62,8 +61,6 @@ def compare_engines(
     for engine in engines:
         if engine == "global-traversal":
             report.results[engine] = global_traversal_detect(tpiin)
-        elif engine == "fast":
-            report.results[engine] = fast_detect(tpiin)
         else:
             report.results[engine] = detect(tpiin, engine=engine)
 

@@ -18,7 +18,6 @@ from repro.analysis.reporting import render_table
 from repro.datagen.config import PAPER_TRADING_PROBABILITIES
 from repro.datagen.province import ProvincialDataset
 from repro.mining.detector import detect
-from repro.mining.fast import fast_detect
 
 __all__ = ["Table1Result", "run_table1", "PAPER_TABLE1"]
 
@@ -89,10 +88,7 @@ def run_table1(
     for probability in probabilities:
         started = time.perf_counter()
         tpiin = dataset.overlay_trading(base, probability)
-        if engine == "fast":
-            detection = fast_detect(tpiin, collect_groups=collect_groups)
-        else:
-            detection = detect(tpiin, engine=engine)
+        detection = detect(tpiin, engine=engine, collect_groups=collect_groups)
         row = compute_table1_row(
             tpiin,
             detection,

@@ -39,14 +39,15 @@ from repro.io.results_io import write_detection_json
 from repro.ite.pipeline import run_two_phase
 from repro.ite.transactions import SimulationConfig, simulate_transactions
 from repro.mining.detector import detect
-from repro.mining.fast import fast_detect
+from repro.mining.options import Engine
+from repro.obs.profile import render_profile
 from repro.service.config import ServiceConfig
 from repro.service.server import DetectionHTTPServer, serve
 from repro.service.state import DetectionService
 
 __all__ = ["main", "build_parser"]
 
-_ENGINE_CHOICES = ["faithful", "fast", "csr", "parallel", "incremental"]
+_ENGINE_CHOICES = [engine.value for engine in Engine]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -76,6 +77,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker count for --engine parallel (default: cpu count)",
     )
     mine.add_argument("--out-dir", type=Path, default=Path("mining-out"))
+    mine.add_argument(
+        "--profile",
+        action="store_true",
+        help="trace the run and print the stage tree plus slowest subTPIINs",
+    )
 
     table = sub.add_parser("table1", help="run the Table-1 sweep")
     table.add_argument("--seed", type=int, default=20170417)
@@ -175,8 +181,13 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 def _cmd_mine(args: argparse.Namespace) -> int:
     tpiin = read_tpiin_csv(args.arcs, args.nodes)
     tpiin.validate()
-    result = detect(tpiin, engine=args.engine, processes=args.processes)
+    result = detect(
+        tpiin, engine=args.engine, processes=args.processes, trace=args.profile
+    )
     print(result.summary())
+    if args.profile and result.trace is not None:
+        print()
+        print(render_profile(result.trace))
     paths = result.write_files(args.out_dir)
     json_path = write_detection_json(result, args.out_dir / "detection.json")
     print(f"wrote {len(paths)} sus files and {json_path}")
@@ -197,7 +208,7 @@ def _cmd_investigate(args: argparse.Namespace) -> int:
     dataset = generate_province(_province_config(args))
     base = dataset.antecedent_tpiin()
     tpiin = dataset.overlay_trading(base, args.probability)
-    result = fast_detect(tpiin)
+    result = detect(tpiin, engine=Engine.FAST)
     investigation = investigate_company(tpiin, result, args.company)
     print(investigation.render())
     print()
@@ -216,7 +227,7 @@ def _cmd_twophase(args: argparse.Namespace) -> int:
     dataset = generate_province(_province_config(args))
     base = dataset.antecedent_tpiin()
     tpiin = dataset.overlay_trading(base, args.probability)
-    result = fast_detect(tpiin)
+    result = detect(tpiin, engine=Engine.FAST)
     print(result.summary())
     industry_of = {
         c.company_id: c.industry for c in dataset.registry.companies.values()

@@ -36,6 +36,7 @@ from repro.model.homogeneous import (
     InvestmentGraph,
     TradingGraph,
 )
+from repro.obs.tracing import NULL_TRACER, TracerLike
 
 __all__ = ["FusionResult", "StageStats", "fuse"]
 
@@ -79,6 +80,7 @@ def fuse(
     registry: EntityRegistry | None = None,
     validate_inputs: bool = True,
     keep_intermediates: bool = False,
+    tracer: TracerLike = NULL_TRACER,
 ) -> FusionResult:
     """Run the full multi-network fusion and return the TPIIN.
 
@@ -98,24 +100,25 @@ def fuse(
     be expanded back to source entities.
     """
     if validate_inputs:
-        interdependence.validate()
-        influence.validate()
-        investment.validate()
-        trading.validate()
-        if affiliations is not None:
-            affiliations.validate()
-        known = set(influence.graph.nodes(VColor.COMPANY))
-        sources = [("investment", investment), ("trading", trading)]
-        if affiliations is not None:
-            sources.append(("affiliation", affiliations))
-        for source_name, source in sources:
-            missing = set(source.graph.nodes()) - known
-            if missing:
-                sample = ", ".join(sorted(repr(m) for m in missing)[:5])
-                raise FusionError(
-                    f"{source_name} graph references companies unknown to the "
-                    f"influence graph (no legal person): {sample}"
-                )
+        with tracer.span("validate_inputs"):
+            interdependence.validate()
+            influence.validate()
+            investment.validate()
+            trading.validate()
+            if affiliations is not None:
+                affiliations.validate()
+            known = set(influence.graph.nodes(VColor.COMPANY))
+            sources = [("investment", investment), ("trading", trading)]
+            if affiliations is not None:
+                sources.append(("affiliation", affiliations))
+            for source_name, source in sources:
+                missing = set(source.graph.nodes()) - known
+                if missing:
+                    sample = ", ".join(sorted(repr(m) for m in missing)[:5])
+                    raise FusionError(
+                        f"{source_name} graph references companies unknown to the "
+                        f"influence graph (no legal person): {sample}"
+                    )
 
     stages: list[StageStats] = []
     intermediates: dict[str, DiGraph] = {}
@@ -136,9 +139,12 @@ def fuse(
     )
 
     # Stage 2: contract interdependence links -> G12'.
-    person_contraction = contract_interdependence(
-        influence.graph, interdependence.graph
-    )
+    with tracer.span("contract_interdependence") as stage_span:
+        person_contraction = contract_interdependence(
+            influence.graph, interdependence.graph
+        )
+        if tracer.enabled:
+            stage_span.set(syndicates=len(person_contraction.syndicates))
     g12p = person_contraction.graph
     stages.append(
         StageStats(
@@ -153,17 +159,23 @@ def fuse(
 
     # Stage 3: GB = G12' + investment (and affiliation) arcs.
     gb = g12p  # mutated in place; G12' snapshot (if any) was copied above
-    for investor, investee, _color in investment.arcs():
-        gb.add_node(investor, VColor.COMPANY)
-        gb.add_node(investee, VColor.COMPANY)
-        gb.add_arc(investor, investee, RelationKind.INVESTMENT)
-    affiliation_count = 0
-    if affiliations is not None:
-        for source, target, _kind in affiliations.arcs():
-            gb.add_node(source, VColor.COMPANY)
-            gb.add_node(target, VColor.COMPANY)
-            if gb.add_arc(source, target, RelationKind.AFFILIATION):
-                affiliation_count += 1
+    with tracer.span("add_investment") as stage_span:
+        for investor, investee, _color in investment.arcs():
+            gb.add_node(investor, VColor.COMPANY)
+            gb.add_node(investee, VColor.COMPANY)
+            gb.add_arc(investor, investee, RelationKind.INVESTMENT)
+        affiliation_count = 0
+        if affiliations is not None:
+            for source, target, _kind in affiliations.arcs():
+                gb.add_node(source, VColor.COMPANY)
+                gb.add_node(target, VColor.COMPANY)
+                if gb.add_arc(source, target, RelationKind.AFFILIATION):
+                    affiliation_count += 1
+        if tracer.enabled:
+            stage_span.set(
+                investment_arcs=investment.number_of_arcs,
+                affiliation_arcs=affiliation_count,
+            )
     stages.append(
         StageStats(
             "GB",
@@ -180,7 +192,10 @@ def fuse(
     # Cycle detection runs over every arc: persons have indegree zero, so
     # directed cycles can only form among the company-to-company arcs
     # (investment and affiliation).
-    scs_contraction = contract_strongly_connected(gb, cycle_color=None)
+    with tracer.span("contract_scc") as stage_span:
+        scs_contraction = contract_strongly_connected(gb, cycle_color=None)
+        if tracer.enabled:
+            stage_span.set(syndicates=len(scs_contraction.syndicates))
     g123 = scs_contraction.graph
     stages.append(
         StageStats(
@@ -196,26 +211,33 @@ def fuse(
     # Stage 5: recolor to the fused vocabulary and overlay trading arcs.
     # The original relationship subclasses survive as per-arc provenance
     # labels for the explanation layer.
-    fused = DiGraph()
-    arc_provenance: dict[tuple[Node, Node], set[str]] = {}
-    for node in g123.nodes():
-        fused.add_node(node, g123.node_color(node))
-    for tail, head, color in g123.arcs():
-        fused.add_arc(tail, head, EColor.INFLUENCE)
-        label = str(getattr(color, "value", color))
-        arc_provenance.setdefault((tail, head), set()).add(label)
+    with tracer.span("overlay_trading") as stage_span:
+        fused = DiGraph()
+        arc_provenance: dict[tuple[Node, Node], set[str]] = {}
+        for node in g123.nodes():
+            fused.add_node(node, g123.node_color(node))
+        for tail, head, color in g123.arcs():
+            fused.add_arc(tail, head, EColor.INFLUENCE)
+            label = str(getattr(color, "value", color))
+            arc_provenance.setdefault((tail, head), set()).add(label)
 
-    company_map = scs_contraction.node_map
-    intra_scs: list[tuple[Node, Node]] = []
-    for seller, buyer, _color in trading.arcs():
-        new_seller = company_map.get(seller, seller)
-        new_buyer = company_map.get(buyer, buyer)
-        fused.add_node(new_seller, VColor.COMPANY)
-        fused.add_node(new_buyer, VColor.COMPANY)
-        if new_seller == new_buyer:
-            intra_scs.append((seller, buyer))
-            continue
-        fused.add_arc(new_seller, new_buyer, EColor.TRADING)
+        company_map = scs_contraction.node_map
+        intra_scs: list[tuple[Node, Node]] = []
+        for seller, buyer, _color in trading.arcs():
+            new_seller = company_map.get(seller, seller)
+            new_buyer = company_map.get(buyer, buyer)
+            fused.add_node(new_seller, VColor.COMPANY)
+            fused.add_node(new_buyer, VColor.COMPANY)
+            if new_seller == new_buyer:
+                intra_scs.append((seller, buyer))
+                continue
+            fused.add_arc(new_seller, new_buyer, EColor.TRADING)
+        if tracer.enabled:
+            stage_span.set(
+                nodes=fused.number_of_nodes(),
+                arcs=fused.number_of_arcs(),
+                intra_scs_trades=len(intra_scs),
+            )
     stages.append(
         StageStats(
             "TPIIN",

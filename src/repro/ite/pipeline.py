@@ -21,6 +21,7 @@ from repro.fusion.tpiin import TPIIN
 from repro.ite.adjudication import TransactionVerdict, adjudicate_transaction
 from repro.ite.transactions import IndustryProfile, TransactionBook
 from repro.mining.detector import DetectionResult, detect
+from repro.obs.tracing import NULL_TRACER, TracerLike
 
 __all__ = ["TwoPhaseResult", "run_two_phase"]
 
@@ -84,6 +85,7 @@ def run_two_phase(
     engine: str = "fast",
     profiles: dict[str, IndustryProfile] | None = None,
     msg_result: DetectionResult | None = None,
+    tracer: TracerLike = NULL_TRACER,
 ) -> TwoPhaseResult:
     """Run MSG-phase detection, then ALP adjudication on the survivors.
 
@@ -91,12 +93,24 @@ def run_two_phase(
     Ground-truth accounting uses the book's planted ``evading_ids``:
     a false negative is a planted evasion whose transaction the
     ITE-phase either never examined (arc not suspicious) or examined but
-    cleared.
+    cleared.  A real ``tracer`` nests the MSG-phase's engine spans and
+    the ITE judgment under the caller's span tree.
     """
-    result = msg_result if msg_result is not None else detect(tpiin, engine=engine)
+    if msg_result is not None:
+        result = msg_result
+    else:
+        with tracer.span("msg_phase"):
+            result = detect(tpiin, engine=engine, trace=tracer)
     suspicious = result.suspicious_trading_arcs
-    examined = book.for_arcs(suspicious)
-    verdicts = [adjudicate_transaction(tx, profiles) for tx in examined]
+    with tracer.span("ite_judgment") as ite_span:
+        examined = book.for_arcs(suspicious)
+        verdicts = [adjudicate_transaction(tx, profiles) for tx in examined]
+        if tracer.enabled:
+            ite_span.set(
+                examined=len(examined),
+                flagged=sum(1 for v in verdicts if v.flagged),
+                total=len(book),
+            )
 
     flagged_ids = {v.transaction.transaction_id for v in verdicts if v.flagged}
     evading = book.evading_ids

@@ -2,10 +2,11 @@
 
 from repro.mining.csr_engine import build_patterns_tree_csr, csr_detect
 from repro.mining.detector import DetectionResult, SubTPIINResult, detect
-from repro.mining.fast import fast_detect
+from repro.mining.fast import fast_detect  # reprolint: disable=R011  (deprecated alias stays exported)
 from repro.mining.groups import GroupKind, SuspiciousGroup, minimal_groups
 from repro.mining.incremental import ArcUpdate, IncrementalDetector, PathCacheStats
 from repro.mining.matching import match_component_patterns, match_pairs_naive
+from repro.mining.options import DetectOptions, Engine, TraceSpec
 from repro.mining.oracle import suspicious_arc_oracle, suspicious_arc_oracle_closure
 from repro.mining.parallel import parallel_detect
 from repro.mining.sampling import ShareEstimate, estimate_suspicious_share
@@ -22,7 +23,9 @@ from repro.mining.temporal import TimedTrade, WindowResult, sliding_window_detec
 
 __all__ = [
     "ArcUpdate",
+    "DetectOptions",
     "DetectionResult",
+    "Engine",
     "GroupKind",
     "IncrementalDetector",
     "PathCacheStats",
@@ -34,6 +37,7 @@ __all__ = [
     "SubTPIINResult",
     "SuspiciousGroup",
     "TimedTrade",
+    "TraceSpec",
     "WindowResult",
     "sliding_window_detect",
     "build_patterns_tree",

@@ -38,6 +38,8 @@ from repro.mining.patterns import (
 )
 from repro.mining.scs_groups import scs_suspicious_groups
 from repro.model.colors import EColor
+from repro.obs.profile import SUBTPIIN_SPAN
+from repro.obs.tracing import NULL_TRACER, TracerLike
 
 __all__ = [
     "build_patterns_tree_csr",
@@ -352,6 +354,7 @@ def csr_detect(
     *,
     max_trails_per_subtpiin: int | None = None,
     skip_trivial_subtpiins: bool = True,
+    tracer: TracerLike = NULL_TRACER,
 ) -> DetectionResult:
     """Algorithm 1 over the CSR kernel; output equals the faithful run.
 
@@ -364,25 +367,30 @@ def csr_detect(
     cross-component trade count all match the faithful segmentation.
     """
     graph = tpiin.graph
-    components = weakly_connected_components(graph, EColor.INFLUENCE)
-    component_of: dict[Node, int] = {}
-    for ci, component in enumerate(components):
-        for node in component:
-            component_of[node] = ci
+    with tracer.span("segment") as seg_span:
+        components = weakly_connected_components(graph, EColor.INFLUENCE)
+        component_of: dict[Node, int] = {}
+        for ci, component in enumerate(components):
+            for node in component:
+                component_of[node] = ci
 
-    influence_arcs: list[list[tuple[Node, Node, EColor]]] = [
-        [] for _ in components
-    ]
-    for tail, head, _color in graph.arcs(EColor.INFLUENCE):
-        influence_arcs[component_of[tail]].append((tail, head, EColor.INFLUENCE))
-    trading_arcs: list[list[tuple[Node, Node, EColor]]] = [[] for _ in components]
-    cross_count = 0
-    for tail, head, _color in graph.arcs(EColor.TRADING):
-        tail_component = component_of[tail]
-        if tail_component == component_of[head]:
-            trading_arcs[tail_component].append((tail, head, EColor.TRADING))
-        else:
-            cross_count += 1
+        influence_arcs: list[list[tuple[Node, Node, EColor]]] = [
+            [] for _ in components
+        ]
+        for tail, head, _color in graph.arcs(EColor.INFLUENCE):
+            influence_arcs[component_of[tail]].append((tail, head, EColor.INFLUENCE))
+        trading_arcs: list[list[tuple[Node, Node, EColor]]] = [[] for _ in components]
+        cross_count = 0
+        for tail, head, _color in graph.arcs(EColor.TRADING):
+            tail_component = component_of[tail]
+            if tail_component == component_of[head]:
+                trading_arcs[tail_component].append((tail, head, EColor.TRADING))
+            else:
+                cross_count += 1
+        if tracer.enabled:
+            seg_span.set(
+                components=len(components), cross_component_trades=cross_count
+            )
 
     groups: list[SuspiciousGroup] = []
     sub_results: list[SubTPIINResult] = []
@@ -391,14 +399,25 @@ def csr_detect(
     for ci, component in enumerate(components):
         if skip_trivial_subtpiins and not trading_arcs[ci]:
             continue
-        csr = CSRGraph.freeze_parts(
-            ((node, graph.node_color(node)) for node in component),
-            influence_arcs[ci] + trading_arcs[ci],
-            colors=(EColor.INFLUENCE, EColor.TRADING),
-        )
-        trail_count, sub_truncated, sub_groups = mine_frozen(
-            csr, max_trails=max_trails_per_subtpiin
-        )
+        with tracer.span(SUBTPIIN_SPAN) as sub_span:
+            with tracer.span("freeze"):
+                csr = CSRGraph.freeze_parts(
+                    ((node, graph.node_color(node)) for node in component),
+                    influence_arcs[ci] + trading_arcs[ci],
+                    colors=(EColor.INFLUENCE, EColor.TRADING),
+                )
+            with tracer.span("mine"):
+                trail_count, sub_truncated, sub_groups = mine_frozen(
+                    csr, max_trails=max_trails_per_subtpiin
+                )
+            if tracer.enabled:
+                sub_span.set(
+                    index=len(sub_results),
+                    nodes=len(csr),
+                    trading_arcs=len(trading_arcs[ci]),
+                    trails=trail_count,
+                    groups=len(sub_groups),
+                )
         truncated = truncated or sub_truncated
         trail_total += trail_count
         groups.extend(sub_groups)
@@ -412,7 +431,11 @@ def csr_detect(
             )
         )
 
-    groups.extend(scs_suspicious_groups(tpiin))
+    with tracer.span("scs_groups") as scs_span:
+        scs_groups = scs_suspicious_groups(tpiin)
+        if tracer.enabled:
+            scs_span.set(groups=len(scs_groups))
+    groups.extend(scs_groups)
 
     total_trading = tpiin.graph.number_of_arcs(EColor.TRADING) + len(
         tpiin.intra_scs_trades

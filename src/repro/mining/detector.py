@@ -21,21 +21,29 @@ Their outputs are cross-validated by property tests.
 
 from __future__ import annotations
 
+import time
 from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.errors import MiningError
 from repro.fusion.tpiin import TPIIN
 from repro.graph.digraph import Node
 from repro.mining.groups import GroupKind, SuspiciousGroup
 from repro.mining.matching import match_component_patterns
+from repro.mining.options import DetectOptions, Engine, TraceSpec
 from repro.mining.patterns import build_patterns_tree
 from repro.mining.scs_groups import scs_suspicious_groups
 from repro.mining.segmentation import segment
 from repro.model.colors import EColor
+from repro.obs.profile import SUBTPIIN_SPAN
+from repro.obs.registry import get_registry
+from repro.obs.tracing import SpanRecord, TracerLike
 
 __all__ = ["DetectionResult", "SubTPIINResult", "detect"]
+
+#: Bucket bounds (milliseconds) for the detect() wall-time histogram;
+#: densest-720 runs land mid-range, toy fixtures in the first bucket.
+_DETECT_BUCKETS_MS = (1.0, 5.0, 25.0, 100.0, 250.0, 1000.0, 5000.0, 30000.0)
 
 
 @dataclass(slots=True)
@@ -76,6 +84,9 @@ class DetectionResult:
     complex_count_override: int | None = None
     kind_counts_override: Counter[GroupKind] | None = None
     suspicious_arcs_override: set[tuple[Node, Node]] | None = None
+    # Root span of the traced run (None unless detect(..., trace=...)
+    # collected one); excluded from equality-style comparisons by tests.
+    trace: SpanRecord | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -189,17 +200,28 @@ class DetectionResult:
 
 def detect(
     tpiin: TPIIN,
+    options: DetectOptions | None = None,
     *,
-    engine: str = "faithful",
+    engine: str | Engine | None = None,
     max_trails_per_subtpiin: int | None = None,
-    skip_trivial_subtpiins: bool = True,
+    skip_trivial_subtpiins: bool | None = None,
     processes: int | None = None,
+    collect_groups: bool | None = None,
+    trace: TraceSpec | None = None,
 ) -> DetectionResult:
     """Detect all suspicious tax evasion groups in ``tpiin``.
 
+    Accepts a :class:`~repro.mining.options.DetectOptions` bag, plain
+    keywords, or both — explicit keywords override the corresponding
+    option field (``None`` means "not supplied").
+
     Parameters
     ----------
+    options:
+        Consolidated knobs; defaults to ``DetectOptions()`` (faithful
+        engine, untraced).
     engine:
+        :class:`~repro.mining.options.Engine` or its string name.
         ``"faithful"`` runs the paper's Algorithm 1/2 literally;
         ``"fast"`` runs the optimized equivalent engine;
         ``"csr"`` runs the faithful pipeline over the frozen
@@ -219,45 +241,126 @@ def detect(
     processes:
         Parallel engine only: worker-process count (defaults to the
         machine's CPU count).
+    collect_groups:
+        Fast and incremental engines only: ``False`` keeps the Table-1
+        tallies without materializing every group object.
+    trace:
+        ``True`` collects a span tree onto ``DetectionResult.trace``;
+        a caller-owned :class:`~repro.obs.Tracer` nests the run under
+        the caller's open span instead.  Group sets are identical
+        either way (property-tested).
     """
+    opts = (options if options is not None else DetectOptions()).with_overrides(
+        engine=engine,
+        max_trails_per_subtpiin=max_trails_per_subtpiin,
+        skip_trivial_subtpiins=skip_trivial_subtpiins,
+        processes=processes,
+        collect_groups=collect_groups,
+        trace=trace,
+    )
+    tracer = opts.resolve_tracer()
+    started = time.perf_counter()
+    if tracer.enabled:
+        span = tracer.span("detect")
+        with span:
+            span.set(engine=opts.engine.value)
+            result = _run_engine(tpiin, opts, tracer)
+        result.trace = span.record
+    else:
+        result = _run_engine(tpiin, opts, tracer)
+    _count_run(opts.engine, result, time.perf_counter() - started)
+    return result
+
+
+def _run_engine(tpiin: TPIIN, opts: DetectOptions, tracer: TracerLike) -> DetectionResult:
     # The engine modules import DetectionResult from this module, so
     # their imports must stay function-local to break the cycle.
-    if engine == "fast":
-        from repro.mining.fast import fast_detect  # reprolint: disable=R010
+    if opts.engine is Engine.FAST:
+        from repro.mining.fast import _fast_detect  # reprolint: disable=R010
 
-        return fast_detect(tpiin)
-    if engine == "csr":
+        return _fast_detect(tpiin, collect_groups=opts.collect_groups, tracer=tracer)
+    if opts.engine is Engine.CSR:
         from repro.mining.csr_engine import csr_detect  # reprolint: disable=R010
 
         return csr_detect(
             tpiin,
-            max_trails_per_subtpiin=max_trails_per_subtpiin,
-            skip_trivial_subtpiins=skip_trivial_subtpiins,
+            max_trails_per_subtpiin=opts.max_trails_per_subtpiin,
+            skip_trivial_subtpiins=opts.skip_trivial_subtpiins,
+            tracer=tracer,
         )
-    if engine == "parallel":
+    if opts.engine is Engine.PARALLEL:
         from repro.mining.parallel import parallel_detect  # reprolint: disable=R010
 
-        return parallel_detect(tpiin, processes=processes)
-    if engine == "incremental":
+        return parallel_detect(tpiin, processes=opts.processes, tracer=tracer)
+    if opts.engine is Engine.INCREMENTAL:
         from repro.mining.incremental import (  # reprolint: disable=R010
             IncrementalDetector,
         )
 
-        return IncrementalDetector(tpiin).result()
-    if engine != "faithful":
-        raise MiningError(f"unknown engine {engine!r}")
+        return IncrementalDetector(
+            tpiin, collect_groups=opts.collect_groups, tracer=tracer
+        ).result()
+    return _detect_faithful(tpiin, opts, tracer)
 
-    segmentation = segment(tpiin, skip_trivial=skip_trivial_subtpiins)
+
+def _count_run(engine: Engine, result: DetectionResult, elapsed: float) -> None:
+    """Flush one run's tallies into the process-wide metrics registry."""
+    registry = get_registry()
+    registry.counter(
+        "repro_detect_runs_total",
+        help="Completed detect() runs.",
+        engine=engine.value,
+    ).inc()
+    registry.counter(
+        "repro_detect_groups_total",
+        help="Suspicious groups found by detect() runs.",
+        engine=engine.value,
+    ).inc(result.group_count)
+    registry.histogram(
+        "repro_detect_duration_ms",
+        buckets=_DETECT_BUCKETS_MS,
+        help="detect() wall time in milliseconds.",
+        engine=engine.value,
+    ).observe(elapsed * 1e3)
+
+
+def _detect_faithful(
+    tpiin: TPIIN, opts: DetectOptions, tracer: TracerLike
+) -> DetectionResult:
+    """The paper's Algorithm 1 literally (segment / mine / match)."""
+    with tracer.span("segment") as seg_span:
+        segmentation = segment(tpiin, skip_trivial=opts.skip_trivial_subtpiins)
+        if tracer.enabled:
+            seg_span.set(
+                subtpiins=len(segmentation.subtpiins),
+                components=segmentation.total_components,
+                cross_component_trades=len(segmentation.cross_component_trades),
+            )
     groups: list[SuspiciousGroup] = []
     sub_results: list[SubTPIINResult] = []
     trail_total = 0
     truncated = False
     for sub in segmentation.subtpiins:
-        tree = build_patterns_tree(
-            sub.graph, max_trails=max_trails_per_subtpiin, build_tree=False
-        )
+        with tracer.span(SUBTPIIN_SPAN) as sub_span:
+            with tracer.span("patterns_tree") as tree_span:
+                tree = build_patterns_tree(
+                    sub.graph, max_trails=opts.max_trails_per_subtpiin, build_tree=False
+                )
+                if tracer.enabled:
+                    tree_span.set(trails=len(tree.trails), truncated=tree.truncated)
+            with tracer.span("match") as match_span:
+                sub_groups = match_component_patterns(tree.trails)
+                if tracer.enabled:
+                    match_span.set(groups=len(sub_groups))
+            if tracer.enabled:
+                sub_span.set(
+                    index=sub.index,
+                    nodes=len(sub.nodes),
+                    trading_arcs=sub.trading_arc_count,
+                    trails=len(tree.trails),
+                    groups=len(sub_groups),
+                )
         truncated = truncated or tree.truncated
-        sub_groups = match_component_patterns(tree.trails)
         trail_total += len(tree.trails)
         groups.extend(sub_groups)
         sub_results.append(
@@ -270,7 +373,10 @@ def detect(
             )
         )
 
-    scs_groups = scs_suspicious_groups(tpiin)
+    with tracer.span("scs_groups") as scs_span:
+        scs_groups = scs_suspicious_groups(tpiin)
+        if tracer.enabled:
+            scs_span.set(groups=len(scs_groups))
     groups.extend(scs_groups)
 
     total_trading = tpiin.graph.number_of_arcs(EColor.TRADING) + len(

@@ -22,6 +22,7 @@ DESIGN.md.
 
 from __future__ import annotations
 
+import warnings
 from collections import Counter
 from collections.abc import Callable
 
@@ -30,10 +31,12 @@ from repro.graph.bitset import RootAncestorIndex
 from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph, Node
 from repro.graph.traversal import weakly_connected_components
-from repro.mining.detector import DetectionResult
+from repro.mining.detector import DetectionResult, detect
 from repro.mining.groups import GroupKind, SuspiciousGroup
+from repro.mining.options import Engine
 from repro.mining.scs_groups import scs_suspicious_groups
 from repro.model.colors import EColor
+from repro.obs.tracing import NULL_TRACER, TracerLike
 
 __all__ = [
     "enumerate_arc_groups",
@@ -255,6 +258,29 @@ def enumerate_arc_groups(
 
 
 def fast_detect(tpiin: TPIIN, *, collect_groups: bool = True) -> DetectionResult:
+    """Deprecated front door to the optimized engine.
+
+    .. deprecated::
+        Call ``detect(tpiin, engine=Engine.FAST)`` (or construct a
+        :class:`~repro.mining.options.DetectOptions`) instead.  This
+        alias is kept exported for one release; reprolint rule R011
+        rejects new first-party call sites.
+    """
+    warnings.warn(
+        "fast_detect() is deprecated; use "
+        "detect(tpiin, engine=Engine.FAST) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return detect(tpiin, engine=Engine.FAST, collect_groups=collect_groups)
+
+
+def _fast_detect(
+    tpiin: TPIIN,
+    *,
+    collect_groups: bool = True,
+    tracer: TracerLike = NULL_TRACER,
+) -> DetectionResult:
     """Run the optimized engine over a whole TPIIN.
 
     With ``collect_groups=False`` only the Table-1 tallies (simple /
@@ -263,12 +289,18 @@ def fast_detect(tpiin: TPIIN, *, collect_groups: bool = True) -> DetectionResult
     """
     graph = tpiin.graph
     arcs = list(tpiin.trading_arcs())
-    index = RootAncestorIndex(graph, EColor.INFLUENCE)
+    with tracer.span("root_index") as index_span:
+        index = RootAncestorIndex(graph, EColor.INFLUENCE)
+        if tracer.enabled:
+            index_span.set(trading_arcs=len(arcs))
 
     suspicious_arcs: set[tuple[Node, Node]] = set()
-    if arcs:
-        mask = index.shares_root_bulk([a for a, _ in arcs], [b for _, b in arcs])
-        suspicious_arcs = {arc for arc, flag in zip(arcs, mask) if flag}
+    with tracer.span("arc_scan") as scan_span:
+        if arcs:
+            mask = index.shares_root_bulk([a for a, _ in arcs], [b for _, b in arcs])
+            suspicious_arcs = {arc for arc, flag in zip(arcs, mask) if flag}
+        if tracer.enabled:
+            scan_span.set(trading_arcs=len(arcs), suspicious=len(suspicious_arcs))
 
     groups: list[SuspiciousGroup] = []
     simple = 0
@@ -279,7 +311,8 @@ def fast_detect(tpiin: TPIIN, *, collect_groups: bool = True) -> DetectionResult
     if suspicious_arcs:
         # Per-arc enumeration walks only influence arcs; freeze them
         # into the CSR kernel once (skipped when nothing is suspicious).
-        frozen = CSRGraph.freeze(graph, colors=(EColor.INFLUENCE,))
+        with tracer.span("freeze"):
+            frozen = CSRGraph.freeze(graph, colors=(EColor.INFLUENCE,))
 
         def paths_of(root: Node) -> dict[Node, list[tuple[Node, ...]]]:
             cached = path_cache.get(root)
@@ -288,22 +321,36 @@ def fast_detect(tpiin: TPIIN, *, collect_groups: bool = True) -> DetectionResult
                 path_cache[root] = cached
             return cached
 
-        for c1, c2 in sorted(suspicious_arcs, key=lambda a: (str(a[0]), str(a[1]))):
-            for group in enumerate_arc_groups(frozen, index, paths_of, c1, c2):
-                kinds[group.kind] += 1
-                if group.is_simple:
-                    simple += 1
-                else:
-                    complex_ += 1
-                if collect_groups:
-                    groups.append(group)
+        with tracer.span("arc_groups") as arc_span:
+            for c1, c2 in sorted(
+                suspicious_arcs, key=lambda a: (str(a[0]), str(a[1]))
+            ):
+                for group in enumerate_arc_groups(frozen, index, paths_of, c1, c2):
+                    kinds[group.kind] += 1
+                    if group.is_simple:
+                        simple += 1
+                    else:
+                        complex_ += 1
+                    if collect_groups:
+                        groups.append(group)
+            if tracer.enabled:
+                arc_span.set(
+                    suspicious_arcs=len(suspicious_arcs),
+                    groups=simple + complex_,
+                    cached_roots=len(path_cache),
+                )
 
-    for group in scs_suspicious_groups(tpiin):
-        kinds[GroupKind.SCS] += 1
-        simple += 1
-        suspicious_arcs.add(group.trading_arc)
-        if collect_groups:
-            groups.append(group)
+    with tracer.span("scs_groups") as scs_span:
+        scs_count = 0
+        for group in scs_suspicious_groups(tpiin):
+            kinds[GroupKind.SCS] += 1
+            simple += 1
+            scs_count += 1
+            suspicious_arcs.add(group.trading_arc)
+            if collect_groups:
+                groups.append(group)
+        if tracer.enabled:
+            scs_span.set(groups=scs_count)
 
     components = weakly_connected_components(graph, EColor.INFLUENCE)
     component_of: dict[Node, int] = {}

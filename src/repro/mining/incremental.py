@@ -36,6 +36,8 @@ from repro.mining.fast import enumerate_arc_groups, enumerate_root_paths
 from repro.mining.groups import GroupKind, SuspiciousGroup
 from repro.mining.scs_groups import shortest_path_in
 from repro.model.colors import EColor, VColor
+from repro.obs.registry import get_registry
+from repro.obs.tracing import NULL_TRACER, TracerLike
 
 __all__ = ["ArcUpdate", "IncrementalDetector", "PathCacheStats"]
 
@@ -108,6 +110,11 @@ class IncrementalDetector:
         enumerations are kept in the LRU cache.  ``None`` disables the
         cap (the pre-bounded behaviour); the default is generous enough
         that batch-equivalent workloads never evict.
+    tracer:
+        Observability tracer for the construction phases (antecedent
+        indexing and initial-stream ingest); defaults to the null
+        tracer.  Long-lived callers (the daemon) trace per-mutation
+        with their own tracers instead.
     """
 
     def __init__(
@@ -116,6 +123,7 @@ class IncrementalDetector:
         *,
         collect_groups: bool = True,
         max_cached_roots: int | None = 4096,
+        tracer: TracerLike = NULL_TRACER,
     ) -> None:
         if max_cached_roots is not None and max_cached_roots < 1:
             raise MiningError(
@@ -124,11 +132,14 @@ class IncrementalDetector:
         self._tpiin = tpiin
         self._graph: DiGraph = tpiin.antecedent_graph()
         self._collect = collect_groups
-        self._index = RootAncestorIndex(self._graph, EColor.INFLUENCE)
-        # The antecedent side is immutable for the detector's lifetime:
-        # freeze it once and let every per-arc path walk (across all
-        # requests of a serving daemon) run over the CSR kernel.
-        self._csr = CSRGraph.freeze(self._graph, colors=(EColor.INFLUENCE,))
+        with tracer.span("index_antecedent") as index_span:
+            self._index = RootAncestorIndex(self._graph, EColor.INFLUENCE)
+            # The antecedent side is immutable for the detector's lifetime:
+            # freeze it once and let every per-arc path walk (across all
+            # requests of a serving daemon) run over the CSR kernel.
+            self._csr = CSRGraph.freeze(self._graph, colors=(EColor.INFLUENCE,))
+            if tracer.enabled:
+                index_span.set(nodes=len(self._csr))
         self._max_cached_roots = max_cached_roots
         self._path_cache: OrderedDict[
             Node, dict[Node, list[tuple[Node, ...]]]
@@ -136,6 +147,22 @@ class IncrementalDetector:
         self._cache_hits = 0
         self._cache_misses = 0
         self._cache_evictions = 0
+        # Process-wide mirrors of the per-instance cache counters; held
+        # as objects so the hot path pays one inc(), not a registry
+        # lookup.  Shared across detectors by design (cumulative).
+        registry = get_registry()
+        self._hits_counter = registry.counter(
+            "repro_path_cache_hits_total",
+            help="Per-root influence-path cache hits.",
+        )
+        self._misses_counter = registry.counter(
+            "repro_path_cache_misses_total",
+            help="Per-root influence-path cache misses.",
+        )
+        self._evictions_counter = registry.counter(
+            "repro_path_cache_evictions_total",
+            help="Per-root influence-path cache LRU evictions.",
+        )
         self._member_to_scs: dict[Node, Node] = {}
         for scs_id, subgraph in tpiin.scs_subgraphs.items():
             for member in subgraph.nodes():
@@ -153,10 +180,15 @@ class IncrementalDetector:
         self._complex = 0
         self._kinds: Counter[GroupKind] = Counter()
 
-        for arc in tpiin.trading_arcs():
-            self.add_trading_arc(*arc)
-        for arc in tpiin.intra_scs_trades:
-            self.add_trading_arc(*arc)
+        with tracer.span("ingest") as ingest_span:
+            for arc in tpiin.trading_arcs():
+                self.add_trading_arc(*arc)
+            for arc in tpiin.intra_scs_trades:
+                self.add_trading_arc(*arc)
+            if tracer.enabled:
+                ingest_span.set(
+                    arcs=len(self._arcs), suspicious=len(self.suspicious_arcs)
+                )
 
     # ------------------------------------------------------------------
     # stream operations
@@ -230,6 +262,24 @@ class IncrementalDetector:
         state = self._arcs.get((seller, buyer))
         return state.suspicious if state else False
 
+    @property
+    def component_count(self) -> int:
+        """Number of antecedent components (subTPIINs)."""
+        return len(set(self._component_of.values()))
+
+    def component_of(self, node: Node) -> int:
+        """The antecedent-component (subTPIIN) index of ``node``.
+
+        Accepts original company ids (contracted members are mapped to
+        their SCS node first).  This is the subTPIIN key the service's
+        ``/v1/trace/{subtpiin}`` endpoint files mutation traces under.
+        """
+        mapped = self._map(node)
+        try:
+            return self._component_of[mapped]
+        except KeyError:
+            raise MiningError(f"node {node!r} is unknown to the TPIIN") from None
+
     def result(self) -> DetectionResult:
         """A :class:`DetectionResult` equal to a batch run over the arcs."""
         groups: list[SuspiciousGroup] = []
@@ -245,7 +295,7 @@ class IncrementalDetector:
                 if self._component_of[self._map(s)]
                 != self._component_of[self._map(b)]
             ),
-            subtpiin_count=len(set(self._component_of.values())),
+            subtpiin_count=self.component_count,
             engine="incremental",
             simple_count_override=None if self._collect else self._simple,
             complex_count_override=None if self._collect else self._complex,
@@ -276,9 +326,11 @@ class IncrementalDetector:
         cached = self._path_cache.get(root)
         if cached is not None:
             self._cache_hits += 1
+            self._hits_counter.inc()
             self._path_cache.move_to_end(root)
             return cached
         self._cache_misses += 1
+        self._misses_counter.inc()
         cached = enumerate_root_paths(self._csr, root, EColor.INFLUENCE)
         self._path_cache[root] = cached
         if (
@@ -287,6 +339,7 @@ class IncrementalDetector:
         ):
             self._path_cache.popitem(last=False)
             self._cache_evictions += 1
+            self._evictions_counter.inc()
         return cached
 
     def _groups_for(

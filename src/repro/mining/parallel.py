@@ -18,6 +18,7 @@ tail-blocking the pool from the last chunk.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 
 from repro.fusion.tpiin import TPIIN
@@ -28,15 +29,26 @@ from repro.mining.groups import SuspiciousGroup
 from repro.mining.scs_groups import scs_suspicious_groups
 from repro.mining.segmentation import segment
 from repro.model.colors import EColor
+from repro.obs.profile import SUBTPIIN_SPAN
+from repro.obs.tracing import NULL_TRACER, TracerLike
 
 __all__ = ["parallel_detect"]
 
+#: One worker outcome: (index, trails, groups, worker wall seconds).
+_Outcome = tuple[int, int, list[SuspiciousGroup], float]
 
-def _mine_one(payload: tuple[int, CSRGraph]) -> tuple[int, int, list[SuspiciousGroup]]:
-    """Worker: mine one frozen subTPIIN; returns (index, trails, groups)."""
+
+def _mine_one(payload: tuple[int, CSRGraph]) -> _Outcome:
+    """Worker: mine one frozen subTPIIN; returns (index, trails, groups, secs).
+
+    The elapsed wall time rides back with the result so the parent can
+    attach a per-worker span at the join point (workers cannot share the
+    parent's tracer across the process boundary).
+    """
     index, csr = payload
+    started = time.perf_counter()
     trail_count, _truncated, groups = mine_frozen(csr)
-    return index, trail_count, groups
+    return index, trail_count, groups, time.perf_counter() - started
 
 
 def parallel_detect(
@@ -44,6 +56,7 @@ def parallel_detect(
     *,
     processes: int | None = None,
     min_subtpiins_for_pool: int = 2,
+    tracer: TracerLike = NULL_TRACER,
 ) -> DetectionResult:
     """CSR-kernel detection with subTPIINs fanned out across processes.
 
@@ -52,33 +65,62 @@ def parallel_detect(
     dominate).  Results are identical to ``detect(engine="faithful")``
     up to group ordering; the property suite compares them as sets.
     """
-    segmentation = segment(tpiin, skip_trivial=True)
-    payloads = [
-        (sub.index, freeze_subtpiin(sub.graph)) for sub in segmentation.subtpiins
-    ]
-    # Largest-first: the heaviest kernels enter the pool first, so the
-    # slowest subTPIIN overlaps with everything else instead of being
-    # scheduled last and stretching the tail.
-    payloads.sort(key=lambda p: p[1].number_of_arcs(), reverse=True)
+    with tracer.span("segment") as seg_span:
+        segmentation = segment(tpiin, skip_trivial=True)
+        if tracer.enabled:
+            seg_span.set(
+                subtpiins=len(segmentation.subtpiins),
+                components=segmentation.total_components,
+            )
+    with tracer.span("freeze") as freeze_span:
+        payloads = [
+            (sub.index, freeze_subtpiin(sub.graph)) for sub in segmentation.subtpiins
+        ]
+        # Largest-first: the heaviest kernels enter the pool first, so the
+        # slowest subTPIIN overlaps with everything else instead of being
+        # scheduled last and stretching the tail.
+        payloads.sort(key=lambda p: p[1].number_of_arcs(), reverse=True)
+        if tracer.enabled:
+            freeze_span.set(payloads=len(payloads))
 
-    outcomes: list[tuple[int, int, list[SuspiciousGroup]]]
-    if len(payloads) < min_subtpiins_for_pool:
-        outcomes = [_mine_one(p) for p in payloads]
-    else:
-        # Resolve the worker count the same way the pool would, so the
-        # chunk size tracks the actual parallelism (4 chunks per worker)
-        # instead of assuming a 4-process pool.
-        workers = processes if processes is not None else (os.cpu_count() or 1)
-        chunk = max(1, len(payloads) // (workers * 4))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            outcomes = list(pool.map(_mine_one, payloads, chunksize=chunk))
+    outcomes: list[_Outcome]
+    with tracer.span("fan_out") as fan_span:
+        if len(payloads) < min_subtpiins_for_pool:
+            pooled = False
+            outcomes = [_mine_one(p) for p in payloads]
+        else:
+            pooled = True
+            # Resolve the worker count the same way the pool would, so the
+            # chunk size tracks the actual parallelism (4 chunks per worker)
+            # instead of assuming a 4-process pool.
+            workers = processes if processes is not None else (os.cpu_count() or 1)
+            chunk = max(1, len(payloads) // (workers * 4))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                outcomes = list(pool.map(_mine_one, payloads, chunksize=chunk))
+        if tracer.enabled:
+            fan_span.set(
+                pooled=pooled,
+                processes=(
+                    processes if processes is not None else (os.cpu_count() or 1)
+                ),
+            )
+            # Per-worker spans, aggregated at the join: each subTPIIN's
+            # wall time is stamped onto the parent's clock ending "now".
+            for index, trail_count, sub_groups, seconds in outcomes:
+                tracer.record(
+                    SUBTPIIN_SPAN,
+                    seconds,
+                    index=index,
+                    trails=trail_count,
+                    groups=len(sub_groups),
+                )
 
     outcomes.sort(key=lambda item: item[0])
     groups: list[SuspiciousGroup] = []
     sub_results: list[SubTPIINResult] = []
     trail_total = 0
     by_index = {sub.index: sub for sub in segmentation.subtpiins}
-    for index, trail_count, sub_groups in outcomes:
+    for index, trail_count, sub_groups, _seconds in outcomes:
         trail_total += trail_count
         groups.extend(sub_groups)
         sub = by_index[index]
@@ -91,7 +133,11 @@ def parallel_detect(
                 groups=sub_groups,
             )
         )
-    groups.extend(scs_suspicious_groups(tpiin))
+    with tracer.span("scs_groups") as scs_span:
+        scs_groups = scs_suspicious_groups(tpiin)
+        if tracer.enabled:
+            scs_span.set(groups=len(scs_groups))
+    groups.extend(scs_groups)
 
     total_trading = tpiin.graph.number_of_arcs(EColor.TRADING) + len(
         tpiin.intra_scs_trades

@@ -1,0 +1,59 @@
+"""Pipeline observability: span tracing, metrics registry, profiling.
+
+Stdlib-only.  Three pieces:
+
+* :mod:`repro.obs.tracing` — per-run span trees with monotonic timing
+  and attributes, rendered as text or emitted as JSONL trace events;
+* :mod:`repro.obs.registry` — the process-wide metrics registry
+  (counters, gauges, fixed-bucket histograms) with JSON and
+  Prometheus-text exporters, shared by the batch pipeline and the
+  detection daemon;
+* :mod:`repro.obs.profile` — the ``--profile`` report (stage tree +
+  slowest subTPIINs) over a traced run.
+
+See docs/OBSERVABILITY.md for the span schema and metric names.
+"""
+
+from repro.obs.profile import SUBTPIIN_SPAN, render_profile, slowest_subtpiins
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.obs.tracing import (
+    NULL_SPAN,
+    NULL_TRACER,
+    Attr,
+    NullSpan,
+    NullTracer,
+    SpanHandle,
+    SpanRecord,
+    Tracer,
+    TracerLike,
+)
+
+__all__ = [
+    "Attr",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullSpan",
+    "NullTracer",
+    "SUBTPIIN_SPAN",
+    "SpanHandle",
+    "SpanRecord",
+    "Tracer",
+    "TracerLike",
+    "get_registry",
+    "render_profile",
+    "set_registry",
+    "slowest_subtpiins",
+]

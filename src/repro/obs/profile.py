@@ -1,0 +1,55 @@
+"""Profile rendering for traced pipeline runs (``repro mine --profile``).
+
+Turns the span tree a traced :func:`repro.mining.detect` run produced
+into an inspector-readable report: the stage tree with wall times, and
+a ranking of the slowest subTPIINs (the divide-and-conquer units whose
+pattern bases dominate mining time at Table-1 densities).
+"""
+
+from __future__ import annotations
+
+from repro.obs.tracing import SpanRecord
+
+__all__ = ["SUBTPIIN_SPAN", "render_profile", "slowest_subtpiins"]
+
+#: The span name every engine gives its per-subTPIIN unit of work.
+SUBTPIIN_SPAN = "subtpiin"
+
+
+def slowest_subtpiins(
+    root: SpanRecord, *, top: int = 10
+) -> list[SpanRecord]:
+    """The ``top`` slowest per-subTPIIN spans under ``root``, slowest first."""
+    spans = root.find(SUBTPIIN_SPAN)
+    spans.sort(key=lambda span: -span.duration)
+    return spans[:top]
+
+
+def render_profile(root: SpanRecord, *, top: int = 10) -> str:
+    """The ``--profile`` report: stage tree + top-N slowest subTPIINs."""
+    lines = [
+        "stage tree (wall milliseconds)",
+        root.render(),
+    ]
+    ranked = slowest_subtpiins(root, top=top)
+    if ranked:
+        lines.append("")
+        lines.append(f"top {len(ranked)} slowest subTPIINs")
+        header = f"{'rank':>4}  {'ms':>10}  {'index':>6}  {'nodes':>7}  {'trails':>8}  {'groups':>7}"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for rank, span in enumerate(ranked, start=1):
+            attrs = span.attributes
+            lines.append(
+                f"{rank:>4}  {span.duration * 1e3:>10.3f}  "
+                f"{attrs.get('index', '-'):>6}  {attrs.get('nodes', '-'):>7}  "
+                f"{attrs.get('trails', '-'):>8}  {attrs.get('groups', '-'):>7}"
+            )
+    total = root.duration
+    covered = sum(child.duration for child in root.children)
+    lines.append("")
+    lines.append(
+        f"total {total * 1e3:.3f} ms; staged {covered * 1e3:.3f} ms "
+        f"({100.0 * covered / total if total else 0.0:.1f}% of wall)"
+    )
+    return "\n".join(lines)

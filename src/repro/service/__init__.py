@@ -11,7 +11,7 @@ daemon replays snapshot + WAL to its exact pre-crash state.
 from repro.service.client import ServiceClient
 from repro.service.config import ServiceConfig
 from repro.service.locks import ReadWriteLock
-from repro.service.metrics import LatencyHistogram, ServiceMetrics
+from repro.service.metrics import ServiceMetrics
 from repro.service.server import DetectionHTTPServer, DetectionRequestHandler, serve
 from repro.service.snapshot import Snapshot, read_snapshot, write_snapshot
 from repro.service.state import ArcStatus, DetectionService
@@ -31,7 +31,6 @@ __all__ = [
     "DetectionHTTPServer",
     "DetectionRequestHandler",
     "DetectionService",
-    "LatencyHistogram",
     "ReadWriteLock",
     "ReplayResult",
     "ServiceClient",

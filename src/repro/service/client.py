@@ -1,7 +1,9 @@
 """Python client for the detection daemon's JSON API.
 
 Pure stdlib (:mod:`urllib.request`); one :class:`ServiceClient` per
-daemon base URL.  Non-2xx responses raise
+daemon base URL.  The client speaks the versioned ``/v1`` API natively
+(it never relies on the daemon's 308 compatibility redirects, which
+:mod:`urllib` on Python 3.10 does not follow).  Non-2xx responses raise
 :class:`~repro.errors.ServiceClientError` carrying the HTTP status and
 the daemon's ``error`` message, so callers branch on ``exc.status``
 instead of parsing text.
@@ -34,35 +36,41 @@ class ServiceClient:
     def add_arc(self, seller: str, buyer: str) -> dict[str, Any]:
         """Add a trading arc; returns the verdict payload."""
         return self._request(
-            "POST", "/arcs", body={"op": "add", "seller": seller, "buyer": buyer}
+            "POST", "/v1/arcs", body={"op": "add", "seller": seller, "buyer": buyer}
         )
 
     def remove_arc(self, seller: str, buyer: str) -> dict[str, Any]:
         """Retract a trading arc; returns the verdict payload."""
         return self._request(
-            "POST", "/arcs", body={"op": "remove", "seller": seller, "buyer": buyer}
+            "POST", "/v1/arcs", body={"op": "remove", "seller": seller, "buyer": buyer}
         )
 
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
     def arc(self, seller: str, buyer: str) -> dict[str, Any]:
-        return self._request("GET", f"/arcs/{quote(seller, safe='')}/{quote(buyer, safe='')}")
+        return self._request(
+            "GET", f"/v1/arcs/{quote(seller, safe='')}/{quote(buyer, safe='')}"
+        )
 
     def result(self) -> dict[str, Any]:
-        return self._request("GET", "/result")
+        return self._request("GET", "/v1/result")
 
     def investigate(self, company: str) -> dict[str, Any]:
-        return self._request("GET", f"/investigate/{quote(company, safe='')}")
+        return self._request("GET", f"/v1/investigate/{quote(company, safe='')}")
 
     def healthz(self) -> dict[str, Any]:
-        return self._request("GET", "/healthz")
+        return self._request("GET", "/v1/healthz")
 
     def metrics(self) -> dict[str, Any]:
-        return self._request("GET", "/metrics")
+        return self._request("GET", "/v1/metrics")
+
+    def trace(self, subtpiin: int) -> dict[str, Any]:
+        """Recent mutation span trees touching one subTPIIN index."""
+        return self._request("GET", f"/v1/trace/{int(subtpiin)}")
 
     def wait_until_healthy(self, *, attempts: int = 50, delay: float = 0.1) -> dict[str, Any]:
-        """Poll ``/healthz`` until the daemon answers (e.g. right after boot)."""
+        """Poll ``/v1/healthz`` until the daemon answers (e.g. right after boot)."""
         last_error: Exception | None = None
         for _ in range(attempts):
             try:

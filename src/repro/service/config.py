@@ -48,6 +48,9 @@ class ServiceConfig:
     collect_groups:
         With ``False`` the detector tracks counts only; ``/result``
         then reports counts without materialized groups.
+    recent_traces:
+        How many recent mutation span trees to keep for
+        ``GET /v1/trace/{subtpiin}``; ``0`` disables mutation tracing.
     """
 
     state_dir: Path
@@ -57,11 +60,16 @@ class ServiceConfig:
     fsync: bool = True
     max_cached_roots: int | None = 4096
     collect_groups: bool = True
+    recent_traces: int = 64
 
     def __post_init__(self) -> None:
         if self.snapshot_every < 1:
             raise ServiceError(
                 f"snapshot_every must be >= 1, got {self.snapshot_every}"
+            )
+        if self.recent_traces < 0:
+            raise ServiceError(
+                f"recent_traces must be >= 0, got {self.recent_traces}"
             )
         if not 0 <= self.port <= 65535:
             raise ServiceError(f"port must be in [0, 65535], got {self.port}")

@@ -1,106 +1,137 @@
 """Operational metrics for the detection daemon.
 
-Request counters, error counters and fixed-bucket latency histograms
-per endpoint, plus daemon-level gauges (arcs processed, snapshots
-written).  Everything is guarded by one lock — these are tiny critical
-sections on a threaded server — and exported as one JSON document on
-``GET /metrics`` together with the detector's path-cache counters.
+Implemented over :class:`repro.obs.registry.MetricsRegistry` so the
+daemon and the batch pipeline report through one schema.  Every
+observation is written twice:
+
+* into a **private** per-instance registry — a daemon restarted inside
+  one process (tests, embedding) must report its own counts, and the
+  legacy ``/metrics`` JSON keys (``requests``, ``latency_ms``,
+  ``arcs_added``, ...) read from here;
+* into the **shared** process-wide registry
+  (:func:`repro.obs.registry.get_registry`) — the source for the
+  Prometheus text exposition and the ``registry`` section of the JSON
+  payload, merged with whatever the batch ``detect()`` path and the
+  streaming detector's path-cache counters recorded.
 """
 
 from __future__ import annotations
 
-import threading
 import time
-from collections import Counter
 
-__all__ = ["LATENCY_BUCKETS_MS", "LatencyHistogram", "ServiceMetrics"]
+from repro.obs.registry import Histogram, MetricsRegistry, get_registry
+
+__all__ = ["LATENCY_BUCKETS_MS", "ServiceMetrics"]
 
 #: Upper bucket bounds in milliseconds (the last bucket is +inf).
 LATENCY_BUCKETS_MS = (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0)
 
 
-class LatencyHistogram:
-    """Cumulative-style fixed-bucket latency histogram."""
-
-    def __init__(self, bounds_ms: tuple[float, ...] = LATENCY_BUCKETS_MS) -> None:
-        self._bounds = bounds_ms
-        self._counts = [0] * (len(bounds_ms) + 1)
-        self._total_ms = 0.0
-        self._observations = 0
-
-    def observe(self, elapsed_ms: float) -> None:
-        index = len(self._bounds)
-        for i, bound in enumerate(self._bounds):
-            if elapsed_ms <= bound:
-                index = i
-                break
-        self._counts[index] += 1
-        self._total_ms += elapsed_ms
-        self._observations += 1
-
-    def to_dict(self) -> dict[str, object]:
-        buckets = {f"le_{bound:g}ms": count for bound, count in zip(self._bounds, self._counts)}
-        buckets["le_inf"] = self._counts[-1]
-        mean = self._total_ms / self._observations if self._observations else 0.0
-        return {
-            "count": self._observations,
-            "total_ms": self._total_ms,
-            "mean_ms": mean,
-            "buckets": buckets,
-        }
-
-
 class ServiceMetrics:
-    """Thread-safe metric registry for one daemon instance."""
+    """Thread-safe metric recorder for one daemon instance."""
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self._shared = registry if registry is not None else get_registry()
+        self._own = MetricsRegistry()
         self._started = time.monotonic()
-        self._requests: Counter[str] = Counter()
-        self._errors: Counter[str] = Counter()
-        self._latency: dict[str, LatencyHistogram] = {}
-        self._arcs_added = 0
-        self._arcs_removed = 0
-        self._snapshots_written = 0
 
     # ------------------------------------------------------------------
     def observe_request(self, endpoint: str, status: int, elapsed_ms: float) -> None:
-        with self._lock:
-            self._requests[endpoint] += 1
+        for registry in (self._own, self._shared):
+            registry.counter(
+                "repro_http_requests_total",
+                help="HTTP requests served, by endpoint.",
+                endpoint=endpoint,
+            ).inc()
             if status >= 400:
-                self._errors[endpoint] += 1
-            histogram = self._latency.get(endpoint)
-            if histogram is None:
-                histogram = self._latency[endpoint] = LatencyHistogram()
-            histogram.observe(elapsed_ms)
+                registry.counter(
+                    "repro_http_errors_total",
+                    help="HTTP responses with status >= 400, by endpoint.",
+                    endpoint=endpoint,
+                ).inc()
+            registry.histogram(
+                "repro_http_request_duration_ms",
+                buckets=LATENCY_BUCKETS_MS,
+                help="HTTP request wall time in milliseconds.",
+                endpoint=endpoint,
+            ).observe(elapsed_ms)
 
     def count_arc_applied(self, op: str) -> None:
-        with self._lock:
-            if op == "add":
-                self._arcs_added += 1
-            else:
-                self._arcs_removed += 1
+        for registry in (self._own, self._shared):
+            registry.counter(
+                "repro_arcs_applied_total",
+                help="Acknowledged trading-arc mutations, by operation.",
+                op=op,
+            ).inc()
 
     def count_snapshot(self) -> None:
-        with self._lock:
-            self._snapshots_written += 1
+        for registry in (self._own, self._shared):
+            registry.counter(
+                "repro_snapshots_written_total",
+                help="Snapshots written by compaction.",
+            ).inc()
+
+    def count_wal_append(self) -> None:
+        for registry in (self._own, self._shared):
+            registry.counter(
+                "repro_wal_appends_total",
+                help="Records appended to the write-ahead log.",
+            ).inc()
+
+    def count_wal_replay(self, records: int, *, torn_tail: bool) -> None:
+        for registry in (self._own, self._shared):
+            registry.counter(
+                "repro_wal_replayed_records_total",
+                help="WAL records replayed during recovery.",
+            ).inc(records)
+            if torn_tail:
+                registry.counter(
+                    "repro_wal_torn_tails_total",
+                    help="Torn WAL tails healed during recovery.",
+                ).inc()
 
     # ------------------------------------------------------------------
     @property
     def uptime_seconds(self) -> float:
         return time.monotonic() - self._started
 
+    @property
+    def shared_registry(self) -> MetricsRegistry:
+        """The process-wide registry this instance mirrors into."""
+        return self._shared
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition of the shared registry."""
+        self._shared.gauge(
+            "repro_service_uptime_seconds",
+            help="Seconds since this daemon's metrics started.",
+        ).set(self.uptime_seconds)
+        return self._shared.render_prometheus()
+
     def to_dict(self) -> dict[str, object]:
-        with self._lock:
-            return {
-                "uptime_seconds": self.uptime_seconds,
-                "requests": dict(sorted(self._requests.items())),
-                "errors": dict(sorted(self._errors.items())),
-                "latency_ms": {
-                    endpoint: histogram.to_dict()
-                    for endpoint, histogram in sorted(self._latency.items())
-                },
-                "arcs_added": self._arcs_added,
-                "arcs_removed": self._arcs_removed,
-                "snapshots_written": self._snapshots_written,
-            }
+        """The legacy per-instance JSON view plus the registry export."""
+        requests: dict[str, float] = {}
+        errors: dict[str, float] = {}
+        latency: dict[str, object] = {}
+        for labels, metric in self._own.series_for("repro_http_requests_total"):
+            requests[labels.get("endpoint", "")] = metric.value
+        for labels, metric in self._own.series_for("repro_http_errors_total"):
+            errors[labels.get("endpoint", "")] = metric.value
+        for labels, metric in self._own.series_for("repro_http_request_duration_ms"):
+            if isinstance(metric, Histogram):
+                latency[labels.get("endpoint", "")] = metric.to_dict()
+        return {
+            "uptime_seconds": self.uptime_seconds,
+            "requests": dict(sorted(requests.items())),
+            "errors": dict(sorted(errors.items())),
+            "latency_ms": dict(sorted(latency.items())),
+            "arcs_added": self._op_count("add"),
+            "arcs_removed": self._op_count("remove"),
+            "snapshots_written": self._own.counter(
+                "repro_snapshots_written_total"
+            ).value,
+            "registry": self._shared.to_dict(),
+        }
+
+    def _op_count(self, op: str) -> float:
+        return self._own.counter("repro_arcs_applied_total", op=op).value

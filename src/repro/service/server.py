@@ -1,14 +1,19 @@
 """Stdlib-only JSON transport for :class:`DetectionService`.
 
-One :class:`~http.server.ThreadingHTTPServer` per daemon.  Endpoints:
+One :class:`~http.server.ThreadingHTTPServer` per daemon.  The API is
+versioned under ``/v1``; bare legacy paths answer with a ``308
+Permanent Redirect`` to their ``/v1`` twin so old clients keep working
+(``POST`` bodies survive a 308, unlike a 301/302).  Endpoints:
 
 =========================================  =====================================
-``POST /arcs``                             apply ``{"op", "seller", "buyer"}``
-``GET  /arcs/{seller}/{buyer}``            status of one trading arc
-``GET  /result``                           full detection result (JSON)
-``GET  /investigate/{company}``            drill-down briefing for a company
-``GET  /healthz``                          liveness + recovery summary
-``GET  /metrics``                          counters, latency histograms, caches
+``POST /v1/arcs``                          apply ``{"op", "seller", "buyer"}``
+``GET  /v1/arcs/{seller}/{buyer}``         status of one trading arc
+``GET  /v1/result``                        full detection result (JSON)
+``GET  /v1/investigate/{company}``         drill-down briefing for a company
+``GET  /v1/healthz``                       liveness + recovery summary
+``GET  /v1/metrics``                       counters, latency histograms, caches
+``GET  /v1/metrics?format=prometheus``     Prometheus text exposition
+``GET  /v1/trace/{subtpiin}``              recent mutation span trees
 =========================================  =====================================
 
 Concurrency is bounded by the service's single-writer/multi-reader lock:
@@ -27,7 +32,7 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, cast
-from urllib.parse import unquote
+from urllib.parse import parse_qs, unquote
 
 from repro.errors import MiningError, ServiceError
 from repro.io.results_io import detection_to_dict, group_to_dict
@@ -38,6 +43,16 @@ from repro.service.wal import OP_ADD, OP_REMOVE
 __all__ = ["DetectionHTTPServer", "DetectionRequestHandler", "serve"]
 
 _logger = logging.getLogger("repro.service")
+
+#: First path segments that existed before the API was versioned; bare
+#: requests to these answer 308 with the ``/v1`` location.
+_BARE_ROUTES = frozenset(
+    {"arcs", "healthz", "investigate", "metrics", "result", "trace"}
+)
+
+#: ``(endpoint, status, json-payload, text-payload, redirect-location)`` —
+#: exactly one of the last three is non-None.
+_Routed = tuple[str, int, "dict[str, Any] | None", "str | None", "str | None"]
 
 
 def _update_to_dict(update: ArcUpdate) -> dict[str, Any]:
@@ -88,8 +103,10 @@ class DetectionRequestHandler(BaseHTTPRequestHandler):
         started = time.perf_counter()
         endpoint = "unknown"
         status = 500
+        text: str | None = None
+        location: str | None = None
         try:
-            endpoint, status, payload = self._route(method)
+            endpoint, status, payload, text, location = self._route(method)
         except MiningError as exc:
             status, payload = 400, {"error": str(exc)}
         except ServiceError as exc:
@@ -97,23 +114,60 @@ class DetectionRequestHandler(BaseHTTPRequestHandler):
         except Exception as exc:  # pragma: no cover - defensive
             _logger.exception("unhandled error serving %s %s", method, self.path)
             status, payload = 500, {"error": f"internal error: {exc}"}
-        self._send_json(status, payload)
+        if location is not None:
+            self._send_redirect(status, location)
+        elif text is not None:
+            self._send_text(status, text)
+        else:
+            self._send_json(status, payload if payload is not None else {})
         elapsed_ms = (time.perf_counter() - started) * 1000.0
         self.service.metrics.observe_request(endpoint, status, elapsed_ms)
 
-    def _route(self, method: str) -> tuple[str, int, dict[str, Any]]:
-        parts = [unquote(p) for p in self.path.split("?", 1)[0].split("/") if p]
+    def _route(self, method: str) -> _Routed:
+        path, _, query = self.path.partition("?")
+        parts = [unquote(p) for p in path.split("/") if p]
+        if parts and parts[0] == "v1":
+            return self._route_v1(method, parts[1:], query)
+        if parts and parts[0] in _BARE_ROUTES:
+            # Pre-versioning path: point the client at the /v1 twin.  A
+            # 308 preserves the method and body, so POST /arcs survives.
+            target = "/v1" + path + (f"?{query}" if query else "")
+            return "redirect", 308, None, None, target
+        return (
+            "unknown",
+            404,
+            {"error": f"no {method} route for {self.path!r}"},
+            None,
+            None,
+        )
+
+    def _route_v1(self, method: str, parts: list[str], query: str) -> _Routed:
         if method == "POST":
             if parts == ["arcs"]:
                 status, payload = self._handle_post_arcs()
-                return "post_arcs", status, payload
-            return "unknown", 404, {"error": f"no POST route for {self.path!r}"}
+                return "post_arcs", status, payload, None, None
+            return (
+                "unknown",
+                404,
+                {"error": f"no POST route for {self.path!r}"},
+                None,
+                None,
+            )
         if parts == ["healthz"]:
-            return "healthz", 200, dict(self.service.health())
+            return "healthz", 200, dict(self.service.health()), None, None
         if parts == ["metrics"]:
-            return "metrics", 200, dict(self.service.metrics_payload())
+            formats = parse_qs(query).get("format", [])
+            if "prometheus" in formats:
+                return (
+                    "metrics",
+                    200,
+                    None,
+                    self.service.metrics.render_prometheus(),
+                    None,
+                )
+            return "metrics", 200, dict(self.service.metrics_payload()), None, None
         if parts == ["result"]:
-            return "result", 200, detection_to_dict(self.service.result())
+            return "result", 200, detection_to_dict(self.service.result()), None, None
         if len(parts) == 3 and parts[0] == "arcs":
             status_view = self.service.arc_status(parts[1], parts[2])
             return (
@@ -125,10 +179,32 @@ class DetectionRequestHandler(BaseHTTPRequestHandler):
                     "suspicious": status_view.suspicious,
                     "groups": [group_to_dict(g) for g in status_view.groups],
                 },
+                None,
+                None,
             )
         if len(parts) == 2 and parts[0] == "investigate":
-            return "investigate", 200, dict(self.service.investigate(parts[1]).to_dict())
-        return "unknown", 404, {"error": f"no GET route for {self.path!r}"}
+            return (
+                "investigate",
+                200,
+                dict(self.service.investigate(parts[1]).to_dict()),
+                None,
+                None,
+            )
+        if len(parts) == 2 and parts[0] == "trace":
+            try:
+                subtpiin = int(parts[1])
+            except ValueError:
+                raise MiningError(
+                    f"subTPIIN index must be an integer, got {parts[1]!r}"
+                ) from None
+            return (
+                "trace",
+                200,
+                dict(self.service.trace_payload(subtpiin)),
+                None,
+                None,
+            )
+        return "unknown", 404, {"error": f"no GET route for {self.path!r}"}, None, None
 
     def _handle_post_arcs(self) -> tuple[int, dict[str, Any]]:
         body = self._read_json_body()
@@ -166,6 +242,20 @@ class DetectionRequestHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_redirect(self, status: int, location: str) -> None:
+        self.send_response(status)
+        self.send_header("Location", location)
+        self.send_header("Content-Length", "0")
+        self.end_headers()
 
     def log_message(self, format: str, *args: object) -> None:
         _logger.debug("%s - %s", self.address_string(), format % args)

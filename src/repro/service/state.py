@@ -23,6 +23,7 @@ the surviving arc set.
 
 from __future__ import annotations
 
+from collections import deque
 from collections.abc import Sequence
 
 from repro.analysis.investigate import CompanyInvestigation, investigate_company
@@ -31,6 +32,7 @@ from repro.fusion.tpiin import TPIIN
 from repro.mining.detector import DetectionResult
 from repro.mining.groups import SuspiciousGroup
 from repro.mining.incremental import ArcUpdate, IncrementalDetector
+from repro.obs.tracing import NULL_TRACER, Tracer, TracerLike
 from repro.service.config import ServiceConfig
 from repro.service.locks import ReadWriteLock
 from repro.service.metrics import ServiceMetrics
@@ -78,6 +80,7 @@ class DetectionService:
         recovered_records: int = 0,
         recovered_from_snapshot: bool = False,
         healed_torn_tail: bool = False,
+        recovery_trace: dict[str, object] | None = None,
     ) -> None:
         self._tpiin = tpiin
         self._detector = detector
@@ -87,9 +90,18 @@ class DetectionService:
         self._ops_since_snapshot = 0
         self._closed = False
         self.metrics = ServiceMetrics()
+        self.metrics.count_wal_replay(recovered_records, torn_tail=healed_torn_tail)
         self.recovered_records = recovered_records
         self.recovered_from_snapshot = recovered_from_snapshot
         self.healed_torn_tail = healed_torn_tail
+        #: Span tree of the recovery that produced this service.
+        self.recovery_trace = recovery_trace
+        # Recent per-mutation span trees keyed by the subTPIIN (component)
+        # indices they touched, newest last, for /v1/trace.
+        self._recent_traces: deque[tuple[tuple[int, ...], dict[str, object]]] = deque(
+            maxlen=max(1, config.recent_traces)
+        )
+        self._trace_mutations = config.recent_traces > 0
 
     # ------------------------------------------------------------------
     # construction / recovery
@@ -105,39 +117,59 @@ class DetectionService:
         across restarts (a mismatch surfaces as :class:`ServiceError`).
         """
         config.ensure_state_dir()
-        snapshot = read_snapshot(config.snapshot_path)
-        wal, replay = WriteAheadLog.open(config.wal_path, fsync=config.fsync)
+        tracer = Tracer()
+        with tracer.span("recovery") as recovery_span:
+            snapshot = read_snapshot(config.snapshot_path)
+            wal, replay = WriteAheadLog.open(config.wal_path, fsync=config.fsync)
 
-        detector = IncrementalDetector(
-            tpiin.antecedent_view(),
-            collect_groups=config.collect_groups,
-            max_cached_roots=config.max_cached_roots,
-        )
+            with tracer.span("build_detector") as span:
+                detector = IncrementalDetector(
+                    tpiin.antecedent_view(),
+                    collect_groups=config.collect_groups,
+                    max_cached_roots=config.max_cached_roots,
+                    tracer=tracer,
+                )
+                span.set(components=detector.component_count)
 
-        if snapshot is not None:
-            # The snapshot captures the complete live arc set (baseline
-            # included), so the TPIIN's own trading arcs are not re-read.
-            for seller, buyer in snapshot.arcs:
-                cls._replay_apply(detector, OP_ADD, seller, buyer, source="snapshot")
-        else:
-            # No snapshot yet: the baseline is the TPIIN's trading arcs;
-            # the WAL (if any) holds only the deltas applied on top.
-            for seller, buyer in tpiin.trading_arcs():
-                detector.add_trading_arc(seller, buyer)
-            for seller, buyer in tpiin.intra_scs_trades:
-                detector.add_trading_arc(seller, buyer)
+            if snapshot is not None:
+                # The snapshot captures the complete live arc set (baseline
+                # included), so the TPIIN's own trading arcs are not re-read.
+                with tracer.span("seed_snapshot") as span:
+                    for seller, buyer in snapshot.arcs:
+                        cls._replay_apply(
+                            detector, OP_ADD, seller, buyer, source="snapshot"
+                        )
+                    span.set(arcs=len(snapshot.arcs))
+            else:
+                # No snapshot yet: the baseline is the TPIIN's trading arcs;
+                # the WAL (if any) holds only the deltas applied on top.
+                with tracer.span("seed_baseline") as span:
+                    seeded = 0
+                    for seller, buyer in tpiin.trading_arcs():
+                        detector.add_trading_arc(seller, buyer)
+                        seeded += 1
+                    for seller, buyer in tpiin.intra_scs_trades:
+                        detector.add_trading_arc(seller, buyer)
+                        seeded += 1
+                    span.set(arcs=seeded)
 
-        floor = snapshot.last_seq if snapshot is not None else 0
-        replayed = 0
-        for record in replay.records:
-            if record.seq <= floor:
-                # Stale record from a crash between snapshot write and
-                # WAL truncation; the snapshot already contains it.
-                continue
-            cls._replay_apply(
-                detector, record.op, record.seller, record.buyer, source="WAL"
+            floor = snapshot.last_seq if snapshot is not None else 0
+            replayed = 0
+            with tracer.span("wal_replay") as span:
+                for record in replay.records:
+                    if record.seq <= floor:
+                        # Stale record from a crash between snapshot write
+                        # and WAL truncation; the snapshot has it already.
+                        continue
+                    cls._replay_apply(
+                        detector, record.op, record.seller, record.buyer, source="WAL"
+                    )
+                    replayed += 1
+                span.set(replayed=replayed, torn_tail=replay.torn_tail)
+            recovery_span.set(
+                from_snapshot=snapshot is not None, replayed=replayed
             )
-            replayed += 1
+            recovery_record = recovery_span.record
 
         return cls(
             tpiin,
@@ -147,6 +179,9 @@ class DetectionService:
             recovered_records=replayed,
             recovered_from_snapshot=snapshot is not None,
             healed_torn_tail=replay.torn_tail,
+            recovery_trace=(
+                recovery_record.to_dict() if recovery_record is not None else None
+            ),
         )
 
     @staticmethod
@@ -180,18 +215,54 @@ class DetectionService:
     def _mutate(self, op: str, seller: str, buyer: str) -> ArcUpdate:
         with self._lock.write():
             self._ensure_open()
-            if op == OP_ADD:
-                update = self._detector.add_trading_arc(seller, buyer)
-            else:
-                update = self._detector.remove_trading_arc(seller, buyer)
-            if update.applied:
-                # Acknowledge only after the record is durable.
-                self._wal.append(op, str(seller), str(buyer))
-                self.metrics.count_arc_applied(op)
-                self._ops_since_snapshot += 1
-                if self._ops_since_snapshot >= self._config.snapshot_every:
-                    self._compact_locked()
+            tracer: TracerLike = Tracer() if self._trace_mutations else NULL_TRACER
+            with tracer.span("mutation") as span:
+                with tracer.span("apply"):
+                    if op == OP_ADD:
+                        update = self._detector.add_trading_arc(seller, buyer)
+                    else:
+                        update = self._detector.remove_trading_arc(seller, buyer)
+                if update.applied:
+                    # Acknowledge only after the record is durable.
+                    with tracer.span("wal_append"):
+                        self._wal.append(op, str(seller), str(buyer))
+                    self.metrics.count_wal_append()
+                    self.metrics.count_arc_applied(op)
+                    self._ops_since_snapshot += 1
+                    if self._ops_since_snapshot >= self._config.snapshot_every:
+                        self._compact_locked()
+                if tracer.enabled:
+                    span.set(
+                        op=op,
+                        seller=str(seller),
+                        buyer=str(buyer),
+                        applied=update.applied,
+                        suspicious=update.suspicious,
+                    )
+                record = span.record
+            if record is not None:
+                components = self._components_of(seller, buyer)
+                self._recent_traces.append(
+                    (
+                        components,
+                        {
+                            "subtpiins": list(components),
+                            "op": op,
+                            "arc": [str(seller), str(buyer)],
+                            "trace": record.to_dict(),
+                        },
+                    )
+                )
             return update
+
+    def _components_of(self, seller: str, buyer: str) -> tuple[int, ...]:
+        components = set()
+        for node in (seller, buyer):
+            try:
+                components.add(self._detector.component_of(node))
+            except MiningError:
+                continue
+        return tuple(sorted(components))
 
     def compact(self) -> Snapshot:
         """Force a snapshot + WAL truncation; returns the snapshot."""
@@ -258,6 +329,30 @@ class DetectionService:
             payload["arcs_tracked"] = len(self._detector)
             payload["wal_seq"] = self._wal.last_seq
         return payload
+
+    def trace_payload(self, subtpiin: int) -> dict[str, object]:
+        """Recent mutation span trees touching one subTPIIN, newest last.
+
+        ``subtpiin`` is the component index reported by
+        ``/result``/``/investigate``; out-of-range indices raise
+        :class:`MiningError` (surfaced as HTTP 400 by the server).
+        """
+        with self._lock.read():
+            count = self._detector.component_count
+            if not 0 <= subtpiin < count:
+                raise MiningError(
+                    f"subTPIIN index {subtpiin} out of range [0, {count})"
+                )
+            matching = [
+                payload
+                for components, payload in self._recent_traces
+                if subtpiin in components
+            ]
+        return {
+            "subtpiin": subtpiin,
+            "tracing_enabled": self._trace_mutations,
+            "traces": matching,
+        }
 
     # ------------------------------------------------------------------
     def close(self) -> None:

@@ -27,9 +27,9 @@ class TestAuditReport:
     ):
         from repro.ite.pipeline import run_two_phase
         from repro.ite.transactions import simulate_transactions
-        from repro.mining.fast import fast_detect
+        from repro.mining.detector import detect
 
-        result = fast_detect(small_province_tpiin)
+        result = detect(small_province_tpiin, engine="fast")
         industry_of = {
             c.company_id: c.industry
             for c in small_province.registry.companies.values()
@@ -52,9 +52,9 @@ class TestAuditReport:
         assert path.read_text().startswith("#")
 
     def test_count_only_result_skips_group_sections(self, fig8):
-        from repro.mining.fast import fast_detect
+        from repro.mining.detector import detect
 
-        result = fast_detect(fig8, collect_groups=False)
+        result = detect(fig8, engine="fast", collect_groups=False)
         report = build_audit_report(fig8, result)
         assert "## Distributions" not in report
         assert "simple suspicious groups" in report

@@ -55,9 +55,9 @@ class TestDistributionsEdge:
         assert "groups: 0" in dist.render()
 
     def test_small_province_consistency(self, small_province_tpiin):
-        from repro.mining.fast import fast_detect
+        from repro.mining.detector import detect
 
-        result = fast_detect(small_province_tpiin)
+        result = detect(small_province_tpiin, engine="fast")
         dist = compute_distributions(result)
         assert sum(dist.group_size_histogram.values()) == result.group_count
         assert dist.mean_groups_per_suspicious_arc == pytest.approx(

@@ -1,0 +1,13 @@
+"""Bad: imports and calls the deprecated fast_detect entry point."""
+
+from repro.mining.fast import fast_detect
+
+import repro
+
+
+def batch(tpiin):
+    return fast_detect(tpiin)
+
+
+def batch_via_package(tpiin):
+    return repro.fast_detect(tpiin, collect_groups=False)

@@ -1,0 +1,20 @@
+"""Good: uses the consolidated detect() options API."""
+
+from repro.mining.detector import detect
+from repro.mining.options import DetectOptions, Engine
+
+
+def batch(tpiin):
+    return detect(tpiin, engine=Engine.FAST)
+
+
+def batch_with_options(tpiin):
+    return detect(tpiin, options=DetectOptions(engine=Engine.FAST, collect_groups=False))
+
+
+def locally_named(tpiin):
+    # A non-first-party helper that merely shares the name is fine.
+    def fast_detect(t):
+        return t
+
+    return fast_detect(tpiin)

@@ -13,14 +13,14 @@ from repro.io.results_io import read_detection_json, write_detection_json
 from repro.ite.pipeline import run_two_phase
 from repro.ite.transactions import SimulationConfig, simulate_transactions
 from repro.mining.detector import detect
-from repro.mining.fast import fast_detect
+from repro.mining.detector import detect
 from repro.weights.scoring import rank_trading_arcs
 
 
 @pytest.fixture(scope="module")
 def detection(request):
     tpiin = request.getfixturevalue("small_province_tpiin")
-    return fast_detect(tpiin)
+    return detect(tpiin, engine="fast")
 
 
 class TestFullPipeline:
@@ -68,7 +68,7 @@ class TestFullPipeline:
             small_province_tpiin, tmp_path / "arcs.csv", tmp_path / "nodes.csv"
         )
         loaded = read_tpiin_csv(tmp_path / "arcs.csv", tmp_path / "nodes.csv")
-        reloaded_result = fast_detect(loaded)
+        reloaded_result = detect(loaded, engine="fast")
         assert (
             reloaded_result.suspicious_trading_arcs
             == detection.suspicious_trading_arcs
@@ -101,5 +101,5 @@ class TestScsIntegration:
             scs_groups = [g for g in result.groups if g.kind is GroupKind.SCS]
             assert len(scs_groups) == len(set(tpiin.intra_scs_trades))
         assert result.suspicious_trading_arcs == suspicious_arc_oracle(tpiin)
-        fast = fast_detect(tpiin)
+        fast = detect(tpiin, engine="fast")
         assert {g.key() for g in fast.groups} == {g.key() for g in result.groups}

@@ -19,7 +19,7 @@ from repro.datagen.province import generate_province
 from repro.datagen.rng import derive_rng
 from repro.io.bundle_io import read_tpiin_bundle, write_tpiin_bundle
 from repro.io.registry_io import load_registry_csvs, write_registry_csvs
-from repro.mining.fast import fast_detect
+from repro.mining.detector import detect
 from repro.mining.incremental import IncrementalDetector
 from repro.mining.sampling import estimate_suspicious_share
 from repro.mining.temporal import TimedTrade, sliding_window_detect
@@ -64,7 +64,7 @@ class TestProductionFlow:
         batch_tpiin = dataset.overlay_trading(
             dataset.antecedent_tpiin(), 0.03
         )
-        batch = fast_detect(batch_tpiin)
+        batch = detect(batch_tpiin, engine="fast")
         assert monitor.suspicious_arcs == batch.suspicious_trading_arcs
 
     def test_quarterly_reporting(self, office):
@@ -82,7 +82,7 @@ class TestProductionFlow:
         assert any(w.suspicious_arcs for w in windows)
 
         full = dataset.overlay_trading(dataset.antecedent_tpiin(), 0.03)
-        result = fast_detect(full)
+        result = detect(full, engine="fast")
         report = build_audit_report(full, result, title="Quarterly audit")
         assert "Quarterly audit" in report
         estimate = estimate_suspicious_share(full, sample_size=200, seed=3)

@@ -7,7 +7,7 @@ import pytest
 from repro.errors import SerializationError
 from repro.io.bundle_io import read_tpiin_bundle, write_tpiin_bundle
 from repro.mining.detector import detect
-from repro.mining.fast import fast_detect
+from repro.mining.detector import detect
 
 
 def fused_with_scs():
@@ -55,7 +55,7 @@ class TestRoundTrip:
         assert loaded.intra_scs_trades == [("a", "b")]
         assert set(loaded.scs_subgraphs) == set(scs_case.scs_subgraphs)
         # The SCS group is minable from the reloaded bundle.
-        result = fast_detect(loaded)
+        result = detect(loaded, engine="fast")
         assert ("a", "b") in result.suspicious_trading_arcs
 
     def test_explanations_survive(self, tmp_path):

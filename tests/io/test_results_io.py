@@ -12,7 +12,7 @@ from repro.io.results_io import (
     write_detection_json,
 )
 from repro.mining.detector import detect
-from repro.mining.fast import fast_detect
+from repro.mining.detector import detect
 from repro.mining.groups import GroupKind, SuspiciousGroup
 
 
@@ -65,7 +65,7 @@ class TestDetectionJson:
             read_detection_json(path)
 
     def test_count_only_result_serializes(self, fig8, tmp_path):
-        result = fast_detect(fig8, collect_groups=False)
+        result = detect(fig8, engine="fast", collect_groups=False)
         path = write_detection_json(result, tmp_path / "counts.json")
         payload = json.loads(path.read_text())
         assert payload["groups"] == []
@@ -80,7 +80,7 @@ class TestSusFiles:
         assert names == {"susGroup(0).txt", "susTrade(0).txt"}
 
     def test_fast_writes_aggregate(self, fig8, tmp_path):
-        result = fast_detect(fig8)
+        result = detect(fig8, engine="fast")
         paths = result.write_files(tmp_path)
         names = {p.name for p in paths}
         assert names == {"susGroup(all).txt", "susTrade(all).txt"}

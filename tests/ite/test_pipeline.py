@@ -4,14 +4,14 @@ import pytest
 
 from repro.ite.pipeline import run_two_phase
 from repro.ite.transactions import SimulationConfig, simulate_transactions
-from repro.mining.fast import fast_detect
+from repro.mining.detector import detect
 
 
 @pytest.fixture(scope="module")
 def setup(request):
     small_province = request.getfixturevalue("small_province")
     tpiin = request.getfixturevalue("small_province_tpiin")
-    result = fast_detect(tpiin)
+    result = detect(tpiin, engine="fast")
     industry_of = {
         c.company_id: c.industry for c in small_province.registry.companies.values()
     }

@@ -158,9 +158,9 @@ class TestSubReport:
         assert "groups" in text
 
     def test_fast_engine_has_no_sub_data(self, fig8):
-        from repro.mining.fast import fast_detect
+        from repro.mining.detector import detect
 
-        text = fast_detect(fig8).render_sub_report()
+        text = detect(fig8, engine="fast").render_sub_report()
         assert "did not segment" in text
 
     def test_truncation(self, small_province_tpiin):

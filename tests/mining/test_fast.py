@@ -4,7 +4,12 @@ import pytest
 
 from repro.fusion.tpiin import TPIIN
 from repro.mining.detector import detect
-from repro.mining.fast import enumerate_root_paths, fast_detect, paths_between
+from repro.mining.fast import (  # reprolint: disable=R011  (deprecation under test)
+    enumerate_root_paths,
+    fast_detect,
+    paths_between,
+)
+from repro.mining.options import Engine
 from repro.model.colors import EColor
 
 
@@ -44,7 +49,7 @@ class TestEquivalence:
     def test_fast_matches_faithful_on_fixtures(self, fixture, request):
         tpiin = request.getfixturevalue(fixture)
         faithful = detect(tpiin)
-        fast = fast_detect(tpiin)
+        fast = detect(tpiin, engine=Engine.FAST)
         assert {g.key() for g in fast.groups} == {g.key() for g in faithful.groups}
         assert fast.suspicious_trading_arcs == faithful.suspicious_trading_arcs
         assert fast.total_trading_arcs == faithful.total_trading_arcs
@@ -52,12 +57,12 @@ class TestEquivalence:
     def test_fast_on_diamond_with_circle(self):
         t = diamond_tpiin()
         faithful = detect(t)
-        fast = fast_detect(t)
+        fast = detect(t, engine=Engine.FAST)
         assert {g.key() for g in fast.groups} == {g.key() for g in faithful.groups}
 
     def test_collect_groups_false_matches_counts(self, fig8):
-        full = fast_detect(fig8, collect_groups=True)
-        counted = fast_detect(fig8, collect_groups=False)
+        full = detect(fig8, engine=Engine.FAST, collect_groups=True)
+        counted = detect(fig8, engine=Engine.FAST, collect_groups=False)
         assert counted.groups == []
         assert counted.simple_group_count == full.simple_group_count
         assert counted.complex_group_count == full.complex_group_count
@@ -67,7 +72,22 @@ class TestEquivalence:
 
     def test_small_province_equivalence(self, small_province_tpiin):
         faithful = detect(small_province_tpiin)
-        fast = fast_detect(small_province_tpiin)
+        fast = detect(small_province_tpiin, engine=Engine.FAST)
         assert {g.key() for g in fast.groups} == {g.key() for g in faithful.groups}
         assert fast.subtpiin_count == faithful.subtpiin_count
         assert fast.cross_component_trades == faithful.cross_component_trades
+
+
+class TestDeprecatedAlias:
+    def test_fast_detect_warns_and_delegates(self, fig8):
+        with pytest.warns(DeprecationWarning, match="fast_detect"):
+            aliased = fast_detect(fig8)
+        direct = detect(fig8, engine=Engine.FAST)
+        assert {g.key() for g in aliased.groups} == {g.key() for g in direct.groups}
+        assert aliased.engine == direct.engine
+
+    def test_fast_detect_forwards_collect_groups(self, fig8):
+        with pytest.warns(DeprecationWarning):
+            counted = fast_detect(fig8, collect_groups=False)
+        assert counted.groups == []
+        assert counted.group_count > 0

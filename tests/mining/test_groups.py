@@ -142,10 +142,10 @@ class TestMinimalGroups:
         assert minimal_groups(groups) == groups  # fig8 has one group per arc
 
     def test_province_minimal_subset(self, small_province_tpiin):
-        from repro.mining.fast import fast_detect
+        from repro.mining.detector import detect
         from repro.mining.groups import minimal_groups
 
-        groups = fast_detect(small_province_tpiin).groups
+        groups = detect(small_province_tpiin, engine="fast").groups
         minimal = minimal_groups(groups)
         assert 0 < len(minimal) <= len(groups)
         arcs_before = {g.trading_arc for g in groups}

@@ -4,21 +4,21 @@ import pytest
 
 from repro.errors import MiningError
 from repro.fusion.tpiin import TPIIN
-from repro.mining.fast import fast_detect
+from repro.mining.detector import detect
 from repro.mining.sampling import estimate_suspicious_share
 
 
 class TestEstimation:
     def test_full_population_is_exact(self, fig8):
         estimate = estimate_suspicious_share(fig8, sample_size=100)
-        exact = fast_detect(fig8, collect_groups=False).suspicious_arc_share
+        exact = detect(fig8, engine="fast", collect_groups=False).suspicious_arc_share
         assert estimate.point == pytest.approx(exact)
         assert estimate.sample_size == 5
         assert estimate.low <= estimate.point <= estimate.high
 
     def test_sampled_interval_covers_truth(self, small_province_tpiin):
-        exact = fast_detect(
-            small_province_tpiin, collect_groups=False
+        exact = detect(
+            small_province_tpiin, engine="fast", collect_groups=False
         ).suspicious_arc_share
         covered = 0
         for seed in range(10):

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import MiningError
 from repro.fusion.tpiin import TPIIN
-from repro.mining.fast import fast_detect
+from repro.mining.detector import detect
 from repro.mining.temporal import (
     TimedTrade,
     active_in,
@@ -62,7 +62,7 @@ class TestSlidingWindows:
                 trades, window_result.window_start, window_result.window_end
             ):
                 expected_tpiin.graph.add_arc(*arc, EColor.TRADING)
-            batch = fast_detect(expected_tpiin)
+            batch = detect(expected_tpiin, engine="fast")
             assert (
                 window_result.suspicious_arcs == batch.suspicious_trading_arcs
             ), f"window {window_result.window_start}"

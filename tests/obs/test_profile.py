@@ -1,0 +1,64 @@
+"""Unit tests for the --profile report over a span tree."""
+
+from repro.obs.profile import SUBTPIIN_SPAN, render_profile, slowest_subtpiins
+from repro.obs.tracing import SpanRecord
+
+
+def _detect_tree() -> SpanRecord:
+    root = SpanRecord(name="detect", start=0.0, end=1.0)
+    segment = SpanRecord(name="segment", start=0.0, end=0.1)
+    subs = []
+    for index, duration in enumerate((0.05, 0.4, 0.2)):
+        sub = SpanRecord(
+            name=SUBTPIIN_SPAN,
+            start=0.1,
+            end=0.1 + duration,
+            attributes={"index": index, "nodes": 10 + index, "trails": 4, "groups": 1},
+        )
+        subs.append(sub)
+    root.children = [segment, *subs]
+    return root
+
+
+class TestSlowest:
+    def test_ranks_by_duration_descending(self):
+        ranked = slowest_subtpiins(_detect_tree())
+        assert [span.attributes["index"] for span in ranked] == [1, 2, 0]
+
+    def test_top_bounds_the_ranking(self):
+        ranked = slowest_subtpiins(_detect_tree(), top=2)
+        assert len(ranked) == 2
+        assert ranked[0].attributes["index"] == 1
+
+    def test_no_subtpiin_spans_is_empty(self):
+        root = SpanRecord(name="detect", start=0.0, end=1.0)
+        assert slowest_subtpiins(root) == []
+
+
+class TestRenderProfile:
+    def test_report_sections(self):
+        text = render_profile(_detect_tree())
+        assert text.startswith("stage tree (wall milliseconds)")
+        assert "top 3 slowest subTPIINs" in text
+        assert "total 1000.000 ms" in text
+
+    def test_stage_times_sum_consistently(self):
+        # staged = segment 100ms + subs 50+400+200ms = 750ms of 1000ms wall
+        text = render_profile(_detect_tree())
+        assert "staged 750.000 ms (75.0% of wall)" in text
+
+    def test_slowest_table_carries_attributes(self):
+        lines = render_profile(_detect_tree(), top=1).splitlines()
+        table_row = next(line for line in lines if line.strip().startswith("1 "))
+        assert "400.000" in table_row
+        assert " 11 " in table_row  # nodes of index-1 sub
+
+    def test_empty_ranking_omits_table(self):
+        root = SpanRecord(name="detect", start=0.0, end=0.5)
+        text = render_profile(root)
+        assert "slowest subTPIINs" not in text
+        assert "total 500.000 ms" in text
+
+    def test_zero_duration_root_renders(self):
+        root = SpanRecord(name="detect", start=0.0, end=0.0)
+        assert "(0.0% of wall)" in render_profile(root)

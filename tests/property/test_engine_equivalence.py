@@ -10,7 +10,6 @@ from hypothesis import given, settings
 
 from repro.baseline.global_traversal import global_traversal_detect
 from repro.mining.detector import detect
-from repro.mining.fast import fast_detect
 from repro.mining.matching import match_component_patterns, match_pairs_naive
 from repro.mining.oracle import suspicious_arc_oracle, suspicious_arc_oracle_closure
 from repro.mining.patterns import build_patterns_tree
@@ -22,7 +21,7 @@ from .strategies import tpiins
 @given(tpiin=tpiins())
 def test_faithful_equals_fast(tpiin):
     faithful = detect(tpiin)
-    fast = fast_detect(tpiin)
+    fast = detect(tpiin, engine="fast")
     assert {g.key() for g in faithful.groups} == {g.key() for g in fast.groups}
     assert faithful.suspicious_trading_arcs == fast.suspicious_trading_arcs
 
@@ -83,7 +82,7 @@ def test_incremental_equals_batch_after_add_remove(tpiin):
     for arc in arcs[: len(arcs) // 2]:
         detector.add_trading_arc(*arc)
 
-    batch = fast_detect(tpiin)
+    batch = detect(tpiin, engine="fast")
     assert detector.suspicious_arcs == batch.suspicious_trading_arcs
     streamed = detector.result()
     assert {g.key() for g in streamed.groups} == {g.key() for g in batch.groups}
@@ -118,7 +117,7 @@ def test_sliding_windows_match_batch(tpiin, data):
             trades, window_result.window_start, window_result.window_end
         ):
             expected.graph.add_arc(*arc, EColor.TRADING)
-        batch = fast_detect(expected, collect_groups=False)
+        batch = detect(expected, engine="fast", collect_groups=False)
         assert window_result.suspicious_arcs == batch.suspicious_trading_arcs
         assert (
             window_result.result.group_count == batch.group_count

@@ -107,13 +107,13 @@ from .strategies import tpiins  # noqa: E402 - strategy import for the test belo
 def test_bundle_roundtrip_preserves_detection(tmp_path_factory, tpiin):
     """Random TPIINs survive the bundle format byte-for-byte semantically."""
     from repro.io.bundle_io import read_tpiin_bundle, write_tpiin_bundle
-    from repro.mining.fast import fast_detect
+    from repro.mining.detector import detect
 
     path = tmp_path_factory.mktemp("bundle") / "t.json"
     loaded = read_tpiin_bundle(write_tpiin_bundle(tpiin, path))
     assert set(loaded.graph.arcs()) == set(tpiin.graph.arcs())
-    assert {g.key() for g in fast_detect(loaded).groups} == {
-        g.key() for g in fast_detect(tpiin).groups
+    assert {g.key() for g in detect(loaded, engine="fast").groups} == {
+        g.key() for g in detect(tpiin, engine="fast").groups
     }
 
 

@@ -3,7 +3,7 @@
 For any interleaving of adds/removes, any compaction cadence, and any
 amount of bytes torn off the WAL tail by the crash, recovery must yield
 a DetectionResult identical (up to group ordering) to a batch
-``fast_detect`` over the surviving arc set — where "surviving" is
+batch ``detect(engine="fast")`` over the surviving arc set — where "surviving" is
 defined by the durability contract: snapshot arcs (or the TPIIN
 baseline) plus the WAL records that remain intact after the tear.
 """
@@ -16,7 +16,7 @@ from hypothesis import strategies as st
 
 from repro.datagen.cases import fig8_tpiin
 from repro.fusion.tpiin import TPIIN
-from repro.mining.fast import fast_detect
+from repro.mining.detector import detect
 from repro.model.colors import EColor, VColor
 from repro.service.config import ServiceConfig
 from repro.service.snapshot import read_snapshot
@@ -40,11 +40,11 @@ ops_strategy = st.lists(
 
 
 def batch_over(arcs):
-    """fast_detect over Fig. 8's antecedent network + exactly ``arcs``."""
+    """Batch fast-engine detect over Fig. 8's antecedent network + ``arcs``."""
     graph = FIG8.antecedent_graph()
     for seller, buyer in arcs:
         graph.add_arc(seller, buyer, EColor.TRADING)
-    return fast_detect(TPIIN(graph=graph))
+    return detect(TPIIN(graph=graph), engine="fast")
 
 
 def surviving_arcs(config):

@@ -1,11 +1,13 @@
 """In-process HTTP round-trips: server routing + client error mapping."""
 
 import threading
+import urllib.error
+import urllib.request
 
 import pytest
 
+from repro import Engine, detect
 from repro.errors import ServiceClientError
-from repro.mining.fast import fast_detect
 from repro.service.client import ServiceClient
 from repro.service.config import ServiceConfig
 from repro.service.server import DetectionHTTPServer
@@ -40,7 +42,7 @@ class TestQueries:
 
     def test_result_matches_batch(self, served_fig8, fig8):
         client, _ = served_fig8
-        batch = fast_detect(fig8)
+        batch = detect(fig8, engine=Engine.FAST)
         result = client.result()
         assert result["engine"] == "incremental"
         assert len(result["groups"]) == len(batch.groups)
@@ -127,10 +129,10 @@ class TestErrorMapping:
     def test_bad_body_is_400(self, served_fig8):
         client, _ = served_fig8
         with pytest.raises(ServiceClientError) as err:
-            client._request("POST", "/arcs", body={"op": "merge", "seller": "a", "buyer": "b"})
+            client._request("POST", "/v1/arcs", body={"op": "merge", "seller": "a", "buyer": "b"})
         assert err.value.status == 400
         with pytest.raises(ServiceClientError) as err:
-            client._request("POST", "/arcs", body={"op": "add", "seller": 3, "buyer": "b"})
+            client._request("POST", "/v1/arcs", body={"op": "add", "seller": 3, "buyer": "b"})
         assert err.value.status == 400
 
     def test_unreachable_daemon_has_status_zero(self, tmp_path):
@@ -138,3 +140,67 @@ class TestErrorMapping:
         with pytest.raises(ServiceClientError) as err:
             client.healthz()
         assert err.value.status == 0
+
+
+class TestVersionedAPI:
+    @staticmethod
+    def _raw_get(client, path):
+        """GET without following redirects; returns (status, headers, body)."""
+
+        class _NoRedirect(urllib.request.HTTPRedirectHandler):
+            def redirect_request(self, *args, **kwargs):
+                return None
+
+        opener = urllib.request.build_opener(_NoRedirect)
+        try:
+            with opener.open(client._base + path, timeout=5.0) as response:
+                return response.status, dict(response.headers), response.read()
+        except urllib.error.HTTPError as exc:
+            return exc.code, dict(exc.headers), exc.read()
+
+    def test_bare_path_redirects_to_v1(self, served_fig8):
+        client, _ = served_fig8
+        status, headers, _ = self._raw_get(client, "/healthz")
+        assert status == 308
+        assert headers["Location"] == "/v1/healthz"
+
+    def test_redirect_preserves_query_string(self, served_fig8):
+        client, _ = served_fig8
+        status, headers, _ = self._raw_get(client, "/metrics?format=prometheus")
+        assert status == 308
+        assert headers["Location"] == "/v1/metrics?format=prometheus"
+
+    def test_prometheus_exposition(self, served_fig8):
+        client, _ = served_fig8
+        client.healthz()
+        status, headers, body = self._raw_get(client, "/v1/metrics?format=prometheus")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        text = body.decode("utf-8")
+        assert "# TYPE repro_http_requests_total counter" in text
+        assert "repro_service_uptime_seconds" in text
+
+    def test_trace_endpoint_records_mutations(self, served_fig8):
+        client, _ = served_fig8
+        client.remove_arc("C3", "C5")
+        client.add_arc("C3", "C5")
+        payload = client.trace(0)
+        assert payload["subtpiin"] == 0
+        assert payload["tracing_enabled"] is True
+        assert len(payload["traces"]) == 2
+        entry = payload["traces"][-1]
+        assert entry["op"] == "add"
+        assert entry["arc"] == ["C3", "C5"]
+        trace = entry["trace"]
+        assert trace["name"] == "mutation"
+        children = [child["name"] for child in trace["children"]]
+        assert children == ["apply", "wal_append"]
+
+    def test_trace_endpoint_rejects_out_of_range(self, served_fig8):
+        client, _ = served_fig8
+        with pytest.raises(ServiceClientError) as err:
+            client.trace(99)
+        assert err.value.status == 400
+        with pytest.raises(ServiceClientError) as err:
+            client._request("GET", "/v1/trace/zero")
+        assert err.value.status == 400

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import ServiceError
 from repro.fusion.tpiin import TPIIN
-from repro.mining.fast import fast_detect
+from repro.mining.detector import detect
 from repro.service.config import ServiceConfig
 from repro.service.snapshot import read_snapshot
 from repro.service.state import DetectionService
@@ -23,7 +23,7 @@ def group_keys(result):
 class TestFirstBoot:
     def test_boot_matches_batch(self, fig8, tmp_path):
         with DetectionService.open(fig8, config_for(tmp_path)) as service:
-            batch = fast_detect(fig8)
+            batch = detect(fig8, engine="fast")
             result = service.result()
             assert group_keys(result) == group_keys(batch)
             assert result.suspicious_trading_arcs == batch.suspicious_trading_arcs

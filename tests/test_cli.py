@@ -113,6 +113,39 @@ class TestCommands:
         assert "engine=incremental" in out
         assert (tmp_path / "out-inc" / "detection.json").exists()
 
+    def test_mine_profile_prints_stage_tree(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main(
+            [
+                "generate",
+                "--out",
+                str(tmp_path / "net"),
+                "--companies",
+                "80",
+                "--seed",
+                "5",
+                "--probability",
+                "0.02",
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        code = main(
+            [
+                "mine",
+                str(tmp_path / "net.arcs.csv"),
+                str(tmp_path / "net.nodes.csv"),
+                "--profile",
+                "--out-dir",
+                str(tmp_path / "out"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stage tree (wall milliseconds)" in out
+        assert "detect" in out
+        assert "slowest subTPIINs" in out
+
     def test_table1_small(self, capsys):
         code = main(
             [

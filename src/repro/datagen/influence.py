@@ -22,12 +22,12 @@ from repro.datagen.investment import CONGLOMERATE_MIN_SIZE
 from repro.model.colors import InfluenceKind
 from repro.model.homogeneous import InfluenceGraph
 
-__all__ = ["build_influence", "anchor_count", "LegalPersonAssignment"]
+__all__ = ["build_influence", "LegalPersonAssignment"]
 
 LegalPersonAssignment = dict[str, str]  # company id -> legal person id
 
 
-def anchor_count(cluster_size: int, *, base: int = 3, divisor: int = 200) -> int:
+def _anchor_count(cluster_size: int, *, base: int = 3, divisor: int = 200) -> int:
     """Management-board anchor directors for a cluster of a given size."""
     if cluster_size < CONGLOMERATE_MIN_SIZE:
         return 0
@@ -102,7 +102,7 @@ def build_influence(
         if conglomerate:
             n_anchors = min(
                 len(cluster.director_ids),
-                anchor_count(cluster.size, base=anchor_base, divisor=anchor_divisor),
+                _anchor_count(cluster.size, base=anchor_base, divisor=anchor_divisor),
             )
             for director in cluster.director_ids[:n_anchors]:
                 g2.add_influence(director, companies[0], InfluenceKind.D_OF)

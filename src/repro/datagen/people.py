@@ -7,21 +7,21 @@ import numpy as np
 from repro.model.entities import Person
 from repro.model.roles import Role
 
-__all__ = ["make_legal_person", "make_director", "GIVEN_NAMES", "SURNAMES"]
+__all__ = ["make_legal_person", "make_director"]
 
 # Small pinyin pools; names are cosmetic (reports and examples only).
-SURNAMES = (
+_SURNAMES = (
     "Wang", "Li", "Zhang", "Liu", "Chen", "Yang", "Zhao", "Huang",
     "Zhou", "Wu", "Xu", "Sun", "Hu", "Zhu", "Gao", "Lin",
 )
-GIVEN_NAMES = (
+_GIVEN_NAMES = (
     "Wei", "Fang", "Min", "Jing", "Lei", "Qiang", "Yan", "Jun",
     "Ying", "Hua", "Ping", "Gang", "Na", "Bo", "Xin", "Tao",
 )
 
 
 def _name(rng: np.random.Generator) -> str:
-    return f"{rng.choice(SURNAMES)} {rng.choice(GIVEN_NAMES)}"
+    return f"{rng.choice(_SURNAMES)} {rng.choice(_GIVEN_NAMES)}"
 
 
 def make_legal_person(

@@ -1,8 +1,8 @@
 """Project-specific static analysis for the TPIIN pipeline.
 
-``repro.devtools`` ships **reprolint**, a small AST-based linter whose
-rules machine-check the paper invariants and hot-path disciplines that
-otherwise live only in docstrings:
+``repro.devtools`` ships **reprolint**, an AST-based linter in two
+phases.  The per-file rules machine-check the paper invariants and
+hot-path disciplines that otherwise live only in docstrings:
 
 * trading arcs are company->company and colors are enums, never raw
   strings (R008);
@@ -14,32 +14,59 @@ otherwise live only in docstrings:
 * the hot-path dataclasses stay allocation-lean via ``slots=True``
   (R003);
 
-plus general hygiene gates (R004-R007, R009).  See
-``docs/DEVTOOLS.md`` for the full rule catalogue.
+plus general hygiene gates (R004-R007, R009-R011).  The whole-program
+phase builds a project index (import graph + symbol table) and runs
+the cross-module passes: declared-architecture layering (R012), dead
+exports (R013), service lock discipline (R014) and hot-loop allocation
+lint (R015).  See ``docs/DEVTOOLS.md`` for the full catalogue.
 
 Run it as ``repro-lint src`` (console script) or programmatically::
 
-    from repro.devtools import lint_paths
+    from repro.devtools import lint_project
 
-    report = lint_paths(["src"])
+    report = lint_project(["src"])
     for diag in report.diagnostics:
         print(diag.render())
 """
 
+from repro.devtools.baseline import apply_baseline, load_baseline, write_baseline
+from repro.devtools.config import LintConfig, discover_config, load_config
 from repro.devtools.diagnostics import Diagnostic
+from repro.devtools.project import ProjectIndex, build_index, module_name_for
 from repro.devtools.render import render_human, render_json
-from repro.devtools.rulebase import FileContext, Rule, all_rules, get_rule
-from repro.devtools.walker import LintReport, lint_file, lint_paths
+from repro.devtools.rulebase import (
+    FileContext,
+    ProjectRule,
+    Rule,
+    all_project_rules,
+    all_rules,
+    get_rule,
+)
+from repro.devtools.sarif import render_sarif
+from repro.devtools.walker import LintReport, lint_file, lint_paths, lint_project
 
 __all__ = [
     "Diagnostic",
     "FileContext",
+    "LintConfig",
     "LintReport",
+    "ProjectIndex",
+    "ProjectRule",
     "Rule",
+    "all_project_rules",
     "all_rules",
+    "apply_baseline",
+    "build_index",
+    "discover_config",
     "get_rule",
     "lint_file",
     "lint_paths",
+    "lint_project",
+    "load_baseline",
+    "load_config",
+    "module_name_for",
     "render_human",
     "render_json",
+    "render_sarif",
+    "write_baseline",
 ]

@@ -1,0 +1,108 @@
+"""Finding baseline: accept known debt, fail on anything new.
+
+The baseline is a checked-in JSON file mapping
+``path -> rule_id -> message -> count``.  At lint time each diagnostic
+that matches an entry with remaining count is *baselined* (dropped from
+the failure set and tallied separately); anything not covered fails the
+run, and counts never grow on their own — fixing a finding and
+forgetting to shrink the baseline leaves a stale entry that
+``--update-baseline`` prunes.
+
+Matching is by message text rather than line number, so unrelated edits
+that shift code do not invalidate the baseline, while a *new* instance
+of a baselined rule in the same file still fails (the count runs out).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.devtools.diagnostics import Diagnostic
+
+__all__ = [
+    "BaselineError",
+    "apply_baseline",
+    "load_baseline",
+    "render_baseline",
+    "write_baseline",
+]
+
+_VERSION = 1
+
+#: ``path -> rule_id -> message -> remaining count``
+_Baseline = dict[str, dict[str, dict[str, int]]]
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but is not a valid baseline document."""
+
+
+def load_baseline(path: Path) -> _Baseline:
+    """Read a baseline file; a missing file is the empty baseline."""
+    if not path.is_file():
+        return {}
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(data, dict) or data.get("version") != _VERSION:
+        raise BaselineError(
+            f"baseline {path} has unsupported format (want version={_VERSION})"
+        )
+    findings = data.get("findings", {})
+    if not isinstance(findings, dict):
+        raise BaselineError(f"baseline {path}: 'findings' must be an object")
+    out: _Baseline = {}
+    for file_path, by_rule in findings.items():
+        if not isinstance(by_rule, dict):
+            raise BaselineError(f"baseline {path}: entry for {file_path!r} malformed")
+        out[file_path] = {}
+        for rule_id, by_message in by_rule.items():
+            if not isinstance(by_message, dict):
+                raise BaselineError(
+                    f"baseline {path}: entry {file_path!r}/{rule_id} malformed"
+                )
+            out[file_path][rule_id] = {
+                str(msg): int(count) for msg, count in by_message.items()
+            }
+    return out
+
+
+def apply_baseline(
+    diagnostics: tuple[Diagnostic, ...], baseline: _Baseline
+) -> tuple[tuple[Diagnostic, ...], int]:
+    """Split diagnostics into (still failing, number baselined).
+
+    Each baseline entry's count is consumed once per matching
+    diagnostic; surplus findings beyond the recorded count fail.
+    """
+    remaining: dict[tuple[str, str, str], int] = {}
+    for file_path, by_rule in baseline.items():
+        for rule_id, by_message in by_rule.items():
+            for message, count in by_message.items():
+                remaining[(file_path, rule_id, message)] = count
+    kept: list[Diagnostic] = []
+    baselined = 0
+    for diag in diagnostics:
+        key = (diag.path, diag.rule_id, diag.message)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            baselined += 1
+        else:
+            kept.append(diag)
+    return tuple(kept), baselined
+
+
+def render_baseline(diagnostics: tuple[Diagnostic, ...]) -> str:
+    """Serialize the current findings as a fresh baseline document."""
+    findings: _Baseline = {}
+    for diag in diagnostics:
+        by_message = findings.setdefault(diag.path, {}).setdefault(diag.rule_id, {})
+        by_message[diag.message] = by_message.get(diag.message, 0) + 1
+    payload = {"version": _VERSION, "findings": findings}
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def write_baseline(diagnostics: tuple[Diagnostic, ...], path: Path) -> None:
+    path.write_text(render_baseline(diagnostics), encoding="utf-8")

@@ -7,9 +7,39 @@ hint, so both renderers (human and JSON) work from the same record.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import ast
+from dataclasses import dataclass, field
 
-__all__ = ["Diagnostic"]
+__all__ = ["Diagnostic", "node_suppress_lines"]
+
+
+def node_suppress_lines(node: ast.AST | None) -> tuple[int, ...]:
+    """Extra lines on which a ``# reprolint: disable`` silences ``node``.
+
+    A diagnostic is suppressible on its anchor line; for multi-line
+    statements and expressions the whole physical span counts (so the
+    comment can trail the closing paren), and for decorated definitions
+    the decorator lines and the ``def``/``class`` line all count —
+    wherever the anchor happens to sit, the comment lands naturally.
+    Function/class *bodies* never count: a stray disable inside a long
+    def must not silence a diagnostic on its signature.
+    """
+    if node is None:
+        return ()
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        lines = {node.lineno}
+        for dec in node.decorator_list:
+            lines.update(range(dec.lineno, (dec.end_lineno or dec.lineno) + 1))
+        if node.body:
+            # The signature may wrap; every line up to the first body
+            # statement belongs to it.
+            lines.update(range(node.lineno, node.body[0].lineno))
+        return tuple(sorted(lines))
+    lineno = getattr(node, "lineno", None)
+    if lineno is None:
+        return ()
+    end = getattr(node, "end_lineno", None) or lineno
+    return tuple(range(lineno, end + 1))
 
 
 @dataclass(frozen=True, slots=True)
@@ -22,6 +52,9 @@ class Diagnostic:
     rule_id: str
     message: str
     hint: str = ""
+    #: Additional lines where a per-line suppression comment is honored
+    #: (the anchored node's physical span); ``line`` always counts.
+    suppress_lines: tuple[int, ...] = field(default=(), compare=False)
 
     def sort_key(self) -> tuple[str, int, int, str]:
         return (self.path, self.line, self.col, self.rule_id)

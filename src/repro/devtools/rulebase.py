@@ -13,17 +13,24 @@ import ast
 from collections.abc import Iterator
 from dataclasses import dataclass, field
 from pathlib import PurePosixPath
-from typing import Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
-from repro.devtools.diagnostics import Diagnostic
+from repro.devtools.diagnostics import Diagnostic, node_suppress_lines
 
 __all__ = [
     "FileContext",
+    "ProjectRule",
     "Rule",
+    "all_project_rules",
     "all_rules",
     "get_rule",
     "register",
+    "register_project",
 ]
+
+#: Directory components that mark test/bench/example trees; file rules
+#: with library-only invariants exempt themselves via ``in_test_tree``.
+_TEST_TREE_MARKERS = frozenset({"tests", "benchmarks", "examples"})
 
 
 @dataclass(frozen=True, slots=True)
@@ -59,6 +66,20 @@ class FileContext:
         path = PurePosixPath(self.display_path).as_posix()
         return any(path == s or path.endswith("/" + s) for s in suffixes)
 
+    @property
+    def in_test_tree(self) -> bool:
+        """True for files under ``tests``/``benchmarks``/``examples``.
+
+        Library-only invariants (dependency bans, ``__all__`` hygiene,
+        print discipline, ...) exempt these trees.  Fixture snippets
+        under a ``fixtures`` directory mirror *library* layouts and are
+        deliberately not exempt, so rule tests exercise the real scope.
+        """
+        parts = self._parts[:-1]
+        if "fixtures" in parts:
+            return False
+        return any(part in _TEST_TREE_MARKERS for part in parts)
+
     def diagnostic(
         self,
         node: ast.AST | None,
@@ -76,6 +97,7 @@ class FileContext:
             rule_id=rule_id,
             message=message,
             hint=hint,
+            suppress_lines=node_suppress_lines(node),
         )
 
 
@@ -91,7 +113,32 @@ class Rule(Protocol):
         ...
 
 
+if TYPE_CHECKING:
+    from repro.devtools.config import LintConfig
+    from repro.devtools.project import ProjectIndex
+
+
+@runtime_checkable
+class ProjectRule(Protocol):
+    """The phase-2 (whole-program) rule interface.
+
+    A project rule sees the complete :class:`ProjectIndex` plus the
+    resolved :class:`LintConfig` and yields diagnostics anchored in the
+    *subject* modules (the files the walker was asked to lint).
+    """
+
+    rule_id: str
+    title: str
+
+    def check_project(
+        self, index: "ProjectIndex", config: "LintConfig"
+    ) -> Iterator[Diagnostic]:
+        """Yield every violation of this rule found in the project."""
+        ...
+
+
 _REGISTRY: dict[str, Rule] = {}
+_PROJECT_REGISTRY: dict[str, ProjectRule] = {}
 
 
 def register(cls: type) -> type:
@@ -99,25 +146,45 @@ def register(cls: type) -> type:
     rule = cls()
     if not isinstance(rule, Rule):
         raise TypeError(f"{cls.__name__} does not implement the Rule protocol")
-    if rule.rule_id in _REGISTRY:
+    if rule.rule_id in _REGISTRY or rule.rule_id in _PROJECT_REGISTRY:
         raise ValueError(f"duplicate rule id {rule.rule_id}")
     _REGISTRY[rule.rule_id] = rule
     return cls
 
 
+def register_project(cls: type) -> type:
+    """Class decorator: instantiate and index a phase-2 project rule."""
+    rule = cls()
+    if not isinstance(rule, ProjectRule):
+        raise TypeError(f"{cls.__name__} does not implement the ProjectRule protocol")
+    if rule.rule_id in _PROJECT_REGISTRY or rule.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.rule_id}")
+    _PROJECT_REGISTRY[rule.rule_id] = rule
+    return cls
+
+
 def _load_catalogue() -> None:
-    # Importing the rules module runs its @register decorators; lazy so
-    # rulebase <-> rules stays an acyclic import graph at module level.
+    # Importing the rules modules runs their @register decorators; lazy
+    # so rulebase <-> rules stays an acyclic import graph at module level.
+    import repro.devtools.project_rules  # noqa: F401  # reprolint: disable=R010
     import repro.devtools.rules  # noqa: F401  # reprolint: disable=R010
 
 
 def all_rules() -> tuple[Rule, ...]:
-    """Every registered rule, ordered by rule id."""
+    """Every registered per-file rule, ordered by rule id."""
     _load_catalogue()
     return tuple(_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY))
 
 
-def get_rule(rule_id: str) -> Rule:
+def all_project_rules() -> tuple[ProjectRule, ...]:
+    """Every registered whole-program rule, ordered by rule id."""
+    _load_catalogue()
+    return tuple(_PROJECT_REGISTRY[rule_id] for rule_id in sorted(_PROJECT_REGISTRY))
+
+
+def get_rule(rule_id: str) -> Rule | ProjectRule:
     """Look one rule up by id (raises ``KeyError`` for unknown ids)."""
     _load_catalogue()
-    return _REGISTRY[rule_id]
+    if rule_id in _REGISTRY:
+        return _REGISTRY[rule_id]
+    return _PROJECT_REGISTRY[rule_id]

@@ -112,7 +112,7 @@ class UnseededRandomnessRule:
     title = "no unseeded randomness outside datagen/rng.py"
 
     def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
-        if ctx.path_endswith("datagen/rng.py"):
+        if ctx.in_test_tree or ctx.path_endswith("datagen/rng.py"):
             return
         aliases = _import_aliases(ctx.tree)
         for node in ast.walk(ctx.tree):
@@ -187,7 +187,7 @@ class NoRecursiveTraversalRule:
     title = "no recursive traversal in graph/, fusion/, mining/"
 
     def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
-        if not ctx.in_package(*_TRAVERSAL_PACKAGES):
+        if ctx.in_test_tree or not ctx.in_package(*_TRAVERSAL_PACKAGES):
             return
         for node in ast.walk(ctx.tree):
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
@@ -230,7 +230,7 @@ class DataclassSlotsRule:
     title = "dataclasses in graph/ and mining/ must declare slots=True"
 
     def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
-        if not ctx.in_package(*_SLOTS_PACKAGES):
+        if ctx.in_test_tree or not ctx.in_package(*_SLOTS_PACKAGES):
             return
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.ClassDef):
@@ -272,7 +272,7 @@ class DunderAllRule:
     title = "__all__ must exactly match public definitions"
 
     def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
-        if ctx.filename == "__main__.py":
+        if ctx.in_test_tree or ctx.filename == "__main__.py":
             return
         is_init = ctx.filename == "__init__.py"
         defined: dict[str, ast.AST] = {}
@@ -379,6 +379,8 @@ class ForbiddenDependencyRule:
     _FORBIDDEN = ("networkx", "scipy")
 
     def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if ctx.in_test_tree:
+            return
         for node in ast.walk(ctx.tree):
             module: str | None = None
             if isinstance(node, ast.Import):
@@ -468,7 +470,11 @@ class NoPrintRule:
     title = "no print() outside cli.py / analysis/reporting.py"
 
     def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
-        if ctx.filename == "cli.py" or ctx.path_endswith("analysis/reporting.py"):
+        if (
+            ctx.in_test_tree
+            or ctx.filename == "cli.py"
+            or ctx.path_endswith("analysis/reporting.py")
+        ):
             return
         for node in ast.walk(ctx.tree):
             if (
@@ -604,7 +610,7 @@ class NoDeprecatedDetectRule:
     _HINT = "call detect(tpiin, engine=Engine.FAST) instead"
 
     def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
-        if ctx.path_endswith("mining/fast.py"):
+        if ctx.in_test_tree or ctx.path_endswith("mining/fast.py"):
             return
         aliases = _import_aliases(ctx.tree)
         for node in ast.walk(ctx.tree):
@@ -658,6 +664,8 @@ class NoFunctionBodyImportRule:
     title = "no function-body imports of first-party repro modules"
 
     def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if ctx.in_test_tree:
+            return
         for node in ast.walk(ctx.tree):
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 yield from self._check_function(ctx, node)

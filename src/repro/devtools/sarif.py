@@ -1,0 +1,92 @@
+"""SARIF 2.1.0 renderer for lint reports.
+
+Emits the minimal, schema-valid subset GitHub code scanning consumes:
+one run, the full rule catalogue under ``tool.driver.rules`` (with
+``helpUri``-free plain-text descriptions), and one ``result`` per
+diagnostic with a ``physicalLocation``.  Output is deterministic
+(sorted keys, stable rule ordering) so the SARIF file diffs cleanly in
+CI artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.devtools.rulebase import all_project_rules, all_rules
+from repro.devtools.walker import PARSE_ERROR_ID, LintReport
+
+__all__ = ["render_sarif"]
+
+_SARIF_VERSION = "2.1.0"
+_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+_TOOL_NAME = "reprolint"
+
+
+def _rule_catalogue() -> list[dict[str, object]]:
+    entries: list[tuple[str, str]] = [
+        (PARSE_ERROR_ID, "file must parse (syntax errors are findings)")
+    ]
+    for rule in (*all_rules(), *all_project_rules()):
+        entries.append((rule.rule_id, rule.title))
+    entries.sort()
+    return [
+        {
+            "id": rule_id,
+            "name": rule_id,
+            "shortDescription": {"text": title},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule_id, title in entries
+    ]
+
+
+def render_sarif(report: LintReport) -> str:
+    """Serialize one report as a SARIF 2.1.0 log (single run)."""
+    rules = _rule_catalogue()
+    rule_index = {entry["id"]: i for i, entry in enumerate(rules)}
+    results: list[dict[str, object]] = []
+    for diag in report.diagnostics:
+        message = diag.message
+        if diag.hint:
+            message += f" (fix: {diag.hint})"
+        result: dict[str, object] = {
+            "ruleId": diag.rule_id,
+            "level": "error",
+            "message": {"text": message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": diag.path,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": diag.line,
+                            "startColumn": diag.col,
+                        },
+                    }
+                }
+            ],
+        }
+        index = rule_index.get(diag.rule_id)
+        if index is not None:
+            result["ruleIndex"] = index
+        results.append(result)
+    log = {
+        "$schema": _SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "informationUri": "https://example.invalid/reprolint",
+                        "rules": rules,
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)

@@ -2,9 +2,20 @@
 
 Suppression is per line and per rule: a trailing
 ``# reprolint: disable=R001`` (comma-separate several ids, or use
-``all``) silences matching diagnostics anchored on that line.  Files
-that fail to parse yield a single ``R000`` parse-error diagnostic so a
-broken tree can never slip through as "clean".
+``all``) silences matching diagnostics anchored on that line — or
+anywhere on the anchored statement's physical span, so the comment can
+trail the closing paren of a multi-line call or sit on a decorator
+line.  Files that fail to parse yield a single ``R000`` parse-error
+diagnostic so a broken tree can never slip through as "clean".
+
+Two entry points:
+
+* :func:`lint_paths` — the historical per-file pass (rules R001-R011).
+* :func:`lint_project` — the two-phase whole-program analysis: phase 1
+  parses the linted files *plus* the configured reference roots into a
+  :class:`~repro.devtools.project.ProjectIndex`; phase 2 runs the
+  per-file rules on the linted files and the project rules (R012-R015)
+  over the index.
 """
 
 from __future__ import annotations
@@ -15,8 +26,16 @@ from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.devtools.config import LintConfig, discover_config
 from repro.devtools.diagnostics import Diagnostic
-from repro.devtools.rulebase import FileContext, Rule, all_rules
+from repro.devtools.project import build_index
+from repro.devtools.rulebase import (
+    FileContext,
+    ProjectRule,
+    Rule,
+    all_project_rules,
+    all_rules,
+)
 
 __all__ = [
     "PARSE_ERROR_ID",
@@ -24,6 +43,7 @@ __all__ = [
     "iter_python_files",
     "lint_file",
     "lint_paths",
+    "lint_project",
     "suppressed_rules",
 ]
 
@@ -39,6 +59,8 @@ class LintReport:
     diagnostics: tuple[Diagnostic, ...]
     files_checked: int
     suppressed: int = 0
+    #: Findings absorbed by the checked-in baseline (still debt, not new).
+    baselined: int = 0
 
     @property
     def ok(self) -> bool:
@@ -52,12 +74,21 @@ class LintReport:
 
 
 def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
-    """Expand files and directories into a sorted, de-duplicated file list."""
+    """Expand files and directories into a sorted, de-duplicated file list.
+
+    Directory walks skip ``fixtures`` subtrees (deliberately-bad rule
+    fixtures must not fail a tree-wide lint); pass a path *inside* a
+    fixtures directory explicitly to lint it anyway.
+    """
     seen: set[Path] = set()
     for raw in paths:
         path = Path(raw)
         if path.is_dir():
-            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+            candidates: Iterable[Path] = sorted(
+                candidate
+                for candidate in path.rglob("*.py")
+                if "fixtures" not in candidate.relative_to(path).parts[:-1]
+            )
         elif path.is_file():
             candidates = [path]
         else:
@@ -82,10 +113,20 @@ def suppressed_rules(text: str) -> dict[int, frozenset[str]]:
     return table
 
 
+def _is_silenced(diag: Diagnostic, table: dict[int, frozenset[str]]) -> bool:
+    """A disable comment anywhere on the diagnostic's span silences it."""
+    for lineno in (diag.line, *diag.suppress_lines):
+        silenced = table.get(lineno)
+        if silenced is not None and (diag.rule_id in silenced or "ALL" in silenced):
+            return True
+    return False
+
+
 @dataclass(frozen=True, slots=True)
 class _FileResult:
     diagnostics: tuple[Diagnostic, ...]
     suppressed: int
+    tree: ast.Module | None = None
 
 
 def _lint_source(
@@ -110,13 +151,12 @@ def _lint_source(
     dropped = 0
     for rule in rules:
         for diag in rule.check(ctx):
-            silenced = table.get(diag.line, frozenset())
-            if diag.rule_id in silenced or "ALL" in silenced:
+            if _is_silenced(diag, table):
                 dropped += 1
             else:
                 kept.append(diag)
     kept.sort(key=Diagnostic.sort_key)
-    return _FileResult(tuple(kept), dropped)
+    return _FileResult(tuple(kept), dropped, tree)
 
 
 def lint_file(path: str | Path, rules: Sequence[Rule] | None = None) -> list[Diagnostic]:
@@ -144,4 +184,89 @@ def lint_paths(
     diagnostics.sort(key=Diagnostic.sort_key)
     return LintReport(
         diagnostics=tuple(diagnostics), files_checked=files, suppressed=suppressed
+    )
+
+
+def _display_for(path: Path) -> str:
+    """Stable display path: cwd-relative when possible, as given otherwise."""
+    try:
+        return path.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_project(
+    paths: Iterable[str | Path],
+    rules: Sequence[Rule] | None = None,
+    project_rules: Sequence[ProjectRule] | None = None,
+    config: LintConfig | None = None,
+) -> LintReport:
+    """Two-phase whole-program lint over ``paths``.
+
+    Phase 1 parses every linted file plus every file under the
+    configured ``reference-roots`` (so cross-module references from
+    tests and benchmarks count) into a project index.  Phase 2 runs the
+    per-file rules over the linted files and the project rules over the
+    index; project diagnostics honour the same per-line suppression
+    comments.  Reference-only files contribute references but never
+    diagnostics, and a reference file that fails to parse is skipped
+    (its own lint run will report R000).
+    """
+    chosen = all_rules() if rules is None else tuple(rules)
+    chosen_project = all_project_rules() if project_rules is None else tuple(project_rules)
+
+    subject_files = list(iter_python_files(paths))
+    if config is None:
+        anchor = subject_files[0] if subject_files else Path.cwd()
+        config = discover_config(Path(anchor))
+
+    diagnostics: list[Diagnostic] = []
+    suppressed = 0
+    indexed: list[tuple[str, str, ast.Module]] = []
+    tables: dict[str, dict[int, frozenset[str]]] = {}
+    subject_displays: list[str] = []
+    seen_resolved: set[Path] = set()
+
+    for path in subject_files:
+        seen_resolved.add(path.resolve())
+        display = path.as_posix()
+        subject_displays.append(display)
+        text = path.read_text(encoding="utf-8")
+        result = _lint_source(display, text, chosen)
+        diagnostics.extend(result.diagnostics)
+        suppressed += result.suppressed
+        if result.tree is not None:
+            indexed.append((display, text, result.tree))
+            tables[display] = suppressed_rules(text)
+
+    for root_name in config.reference_roots:
+        root = config.root / root_name
+        if not root.is_dir():
+            continue
+        for path in iter_python_files([root]):
+            resolved = path.resolve()
+            if resolved in seen_resolved:
+                continue
+            seen_resolved.add(resolved)
+            try:
+                text = path.read_text(encoding="utf-8")
+                tree = ast.parse(text)
+            except (OSError, SyntaxError):
+                continue
+            indexed.append((_display_for(path), text, tree))
+
+    index = build_index(indexed, subject_displays)
+    for rule in chosen_project:
+        for diag in rule.check_project(index, config):
+            table = tables.get(diag.path)
+            if table is not None and _is_silenced(diag, table):
+                suppressed += 1
+            else:
+                diagnostics.append(diag)
+
+    diagnostics.sort(key=Diagnostic.sort_key)
+    return LintReport(
+        diagnostics=tuple(diagnostics),
+        files_checked=len(subject_files),
+        suppressed=suppressed,
     )

@@ -18,7 +18,7 @@ operation (the equivalence is property-tested).
 
 from __future__ import annotations
 
-from collections.abc import Callable, Iterable
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from repro.errors import FusionError
@@ -32,7 +32,6 @@ __all__ = [
     "contract_edge_once",
     "default_syndicate_namer",
     "fully_contract_by_edges",
-    "apply_node_map",
 ]
 
 
@@ -232,9 +231,3 @@ def fully_contract_by_edges(
 def _interim_namer(members: frozenset[Node]) -> str:
     return "interim:" + "+".join(sorted(str(m) for m in members))
 
-
-def apply_node_map(
-    arcs: Iterable[tuple[Node, Node]], node_map: dict[Node, Node]
-) -> list[tuple[Node, Node]]:
-    """Remap arc endpoints through a contraction node map."""
-    return [(node_map.get(t, t), node_map.get(h, h)) for t, h in arcs]

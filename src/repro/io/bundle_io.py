@@ -21,9 +21,9 @@ from repro.fusion.tpiin import TPIIN
 from repro.graph.digraph import DiGraph
 from repro.model.colors import EColor, VColor
 
-__all__ = ["write_tpiin_bundle", "read_tpiin_bundle", "BUNDLE_FORMAT_VERSION"]
+__all__ = ["write_tpiin_bundle", "read_tpiin_bundle"]
 
-BUNDLE_FORMAT_VERSION = 1
+_BUNDLE_FORMAT_VERSION = 1
 
 
 def _graph_payload(graph: DiGraph) -> dict[str, Any]:
@@ -57,7 +57,7 @@ def write_tpiin_bundle(tpiin: TPIIN, path: str | Path) -> Path:
     """Serialize the TPIIN and its fusion by-products as one JSON file."""
     path = Path(path)
     payload = {
-        "format_version": BUNDLE_FORMAT_VERSION,
+        "format_version": _BUNDLE_FORMAT_VERSION,
         "graph": _graph_payload(tpiin.graph),
         "node_map": {str(k): str(v) for k, v in tpiin.node_map.items()},
         "intra_scs_trades": [[str(a), str(b)] for a, b in tpiin.intra_scs_trades],
@@ -84,7 +84,7 @@ def read_tpiin_bundle(path: str | Path) -> TPIIN:
     if not isinstance(payload, dict):
         raise SerializationError(f"{path}: expected a JSON object")
     version = payload.get("format_version")
-    if version != BUNDLE_FORMAT_VERSION:
+    if version != _BUNDLE_FORMAT_VERSION:
         raise SerializationError(
             f"{path}: unsupported bundle format version {version!r}"
         )

@@ -113,6 +113,7 @@ def _enumerate(
 
     trails: list[PatternTrail] = []
     forest: list[PatternTreeNode] = []
+    append_trail = trails.append
 
     for start in start_ids:
         root = PatternTreeNode(decode[start]) if build_tree else None
@@ -132,7 +133,7 @@ def _enumerate(
             if i == len(arcs):
                 if not emitted_any[-1]:
                     # Rule 1: pure influence walk.
-                    trails.append(PatternTrail(tuple(path)))
+                    append_trail(PatternTrail(tuple(path)))
                 stack.pop()
                 cursor.pop()
                 emitted_any.pop()
@@ -142,7 +143,7 @@ def _enumerate(
             successor, is_trading = arcs[i]
             if is_trading:
                 # Rule 2: first trading arc closes the walk.
-                trails.append(PatternTrail(tuple(path), trading_target=successor))
+                append_trail(PatternTrail(tuple(path), trading_target=successor))
                 emitted_any[-1] = True
                 if tree_node is not None:
                     tree_node.children.append(
@@ -340,9 +341,8 @@ def mine_frozen(
             if not supports:
                 continue
             trading_trail = path_dec + (decode[target],)
-            groups += [
-                _trusted(trading_trail, support, _MATCHED) for support in supports
-            ]
+            for support in supports:
+                groups.append(_trusted(trading_trail, support, _MATCHED))
         if truncated:
             break
 

@@ -184,7 +184,8 @@ class NullTracer:
         return None
 
 
-NULL_TRACER = NullTracer()
+#: Module-level singleton; the annotation is the only spelling of its type.
+NULL_TRACER: NullTracer = NullTracer()
 
 
 class _OpenSpan:

@@ -12,7 +12,7 @@ from repro.service.client import ServiceClient
 from repro.service.config import ServiceConfig
 from repro.service.locks import ReadWriteLock
 from repro.service.metrics import ServiceMetrics
-from repro.service.server import DetectionHTTPServer, DetectionRequestHandler, serve
+from repro.service.server import DetectionHTTPServer, serve
 from repro.service.snapshot import Snapshot, read_snapshot, write_snapshot
 from repro.service.state import ArcStatus, DetectionService
 from repro.service.wal import (
@@ -29,7 +29,6 @@ __all__ = [
     "OP_REMOVE",
     "ArcStatus",
     "DetectionHTTPServer",
-    "DetectionRequestHandler",
     "DetectionService",
     "ReadWriteLock",
     "ReplayResult",

@@ -14,11 +14,11 @@ from pathlib import Path
 
 from repro.errors import ServiceError
 
-__all__ = ["SNAPSHOT_FILENAME", "WAL_FILENAME", "ServiceConfig"]
+__all__ = ["ServiceConfig"]
 
 #: On-disk file names inside ``state_dir``.
-WAL_FILENAME = "wal.jsonl"
-SNAPSHOT_FILENAME = "snapshot.json"
+_WAL_FILENAME = "wal.jsonl"
+_SNAPSHOT_FILENAME = "snapshot.json"
 
 
 @dataclass(frozen=True, slots=True)
@@ -77,11 +77,11 @@ class ServiceConfig:
 
     @property
     def wal_path(self) -> Path:
-        return self.state_dir / WAL_FILENAME
+        return self.state_dir / _WAL_FILENAME
 
     @property
     def snapshot_path(self) -> Path:
-        return self.state_dir / SNAPSHOT_FILENAME
+        return self.state_dir / _SNAPSHOT_FILENAME
 
     def ensure_state_dir(self) -> Path:
         self.state_dir.mkdir(parents=True, exist_ok=True)

@@ -21,10 +21,10 @@ import time
 
 from repro.obs.registry import Histogram, MetricsRegistry, get_registry
 
-__all__ = ["LATENCY_BUCKETS_MS", "ServiceMetrics"]
+__all__ = ["ServiceMetrics"]
 
 #: Upper bucket bounds in milliseconds (the last bucket is +inf).
-LATENCY_BUCKETS_MS = (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0)
+_LATENCY_BUCKETS_MS = (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0)
 
 
 class ServiceMetrics:
@@ -51,7 +51,7 @@ class ServiceMetrics:
                 ).inc()
             registry.histogram(
                 "repro_http_request_duration_ms",
-                buckets=LATENCY_BUCKETS_MS,
+                buckets=_LATENCY_BUCKETS_MS,
                 help="HTTP request wall time in milliseconds.",
                 endpoint=endpoint,
             ).observe(elapsed_ms)

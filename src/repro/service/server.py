@@ -40,7 +40,7 @@ from repro.mining.incremental import ArcUpdate
 from repro.service.state import DetectionService
 from repro.service.wal import OP_ADD, OP_REMOVE
 
-__all__ = ["DetectionHTTPServer", "DetectionRequestHandler", "serve"]
+__all__ = ["DetectionHTTPServer", "serve"]
 
 _logger = logging.getLogger("repro.service")
 
@@ -76,11 +76,11 @@ class DetectionHTTPServer(ThreadingHTTPServer):
     allow_reuse_address = True
 
     def __init__(self, address: tuple[str, int], service: DetectionService) -> None:
-        super().__init__(address, DetectionRequestHandler)
+        super().__init__(address, _DetectionRequestHandler)
         self.service = service
 
 
-class DetectionRequestHandler(BaseHTTPRequestHandler):
+class _DetectionRequestHandler(BaseHTTPRequestHandler):
     """Routes requests onto the owning server's service."""
 
     server_version = "repro-tpiin-service/1"

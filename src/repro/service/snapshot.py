@@ -20,9 +20,9 @@ from pathlib import Path
 
 from repro.errors import SerializationError
 
-__all__ = ["SNAPSHOT_FORMAT", "Snapshot", "read_snapshot", "write_snapshot"]
+__all__ = ["Snapshot", "read_snapshot", "write_snapshot"]
 
-SNAPSHOT_FORMAT = 1
+_SNAPSHOT_FORMAT = 1
 
 
 @dataclass(frozen=True, slots=True)
@@ -42,7 +42,7 @@ def write_snapshot(path: str | Path, snapshot: Snapshot) -> Path:
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     payload = {
-        "format": SNAPSHOT_FORMAT,
+        "format": _SNAPSHOT_FORMAT,
         "last_seq": snapshot.last_seq,
         "arcs": [[seller, buyer] for seller, buyer in snapshot.arcs],
     }
@@ -67,7 +67,7 @@ def read_snapshot(path: str | Path) -> Snapshot | None:
         raise SerializationError(f"{path} is not a valid snapshot: {exc}") from exc
     if not isinstance(payload, dict):
         raise SerializationError(f"{path}: expected a JSON object")
-    if payload.get("format") != SNAPSHOT_FORMAT:
+    if payload.get("format") != _SNAPSHOT_FORMAT:
         raise SerializationError(
             f"{path}: unsupported snapshot format {payload.get('format')!r}"
         )

@@ -70,6 +70,13 @@ class DetectionService:
     directly; the initializer wires already-recovered parts together.
     """
 
+    #: Attributes that may only be touched under ``self._lock`` —
+    #: reads need at least the read lock, mutations the write lock.
+    #: Enforced flow-sensitively by reprolint R014.
+    _lock_guarded = frozenset(
+        {"_detector", "_wal", "_ops_since_snapshot", "_closed", "_recent_traces"}
+    )
+
     def __init__(
         self,
         tpiin: TPIIN,
@@ -214,7 +221,7 @@ class DetectionService:
 
     def _mutate(self, op: str, seller: str, buyer: str) -> ArcUpdate:
         with self._lock.write():
-            self._ensure_open()
+            self._ensure_open_locked()
             tracer: TracerLike = Tracer() if self._trace_mutations else NULL_TRACER
             with tracer.span("mutation") as span:
                 with tracer.span("apply"):
@@ -223,9 +230,11 @@ class DetectionService:
                     else:
                         update = self._detector.remove_trading_arc(seller, buyer)
                 if update.applied:
-                    # Acknowledge only after the record is durable.
+                    # The append must stay inside the critical section: an
+                    # update is acknowledged only once durable, and WAL order
+                    # must match detector apply order.
                     with tracer.span("wal_append"):
-                        self._wal.append(op, str(seller), str(buyer))
+                        self._wal.append(op, str(seller), str(buyer))  # reprolint: disable=R014
                     self.metrics.count_wal_append()
                     self.metrics.count_arc_applied(op)
                     self._ops_since_snapshot += 1
@@ -241,7 +250,7 @@ class DetectionService:
                     )
                 record = span.record
             if record is not None:
-                components = self._components_of(seller, buyer)
+                components = self._components_of_locked(seller, buyer)
                 self._recent_traces.append(
                     (
                         components,
@@ -255,7 +264,7 @@ class DetectionService:
                 )
             return update
 
-    def _components_of(self, seller: str, buyer: str) -> tuple[int, ...]:
+    def _components_of_locked(self, seller: str, buyer: str) -> tuple[int, ...]:
         components = set()
         for node in (seller, buyer):
             try:
@@ -267,7 +276,7 @@ class DetectionService:
     def compact(self) -> Snapshot:
         """Force a snapshot + WAL truncation; returns the snapshot."""
         with self._lock.write():
-            self._ensure_open()
+            self._ensure_open_locked()
             return self._compact_locked()
 
     def _compact_locked(self) -> Snapshot:
@@ -278,8 +287,10 @@ class DetectionService:
                 for seller, buyer in self._detector.trading_arcs()
             ),
         )
-        write_snapshot(self._config.snapshot_path, snapshot)
-        self._wal.truncate()
+        # Snapshot write and WAL truncation must be atomic with respect to
+        # mutations: a write between them would be lost on recovery.
+        write_snapshot(self._config.snapshot_path, snapshot)  # reprolint: disable=R014
+        self._wal.truncate()  # reprolint: disable=R014
         self._ops_since_snapshot = 0
         self.metrics.count_snapshot()
         return snapshot
@@ -358,11 +369,16 @@ class DetectionService:
     def close(self) -> None:
         """Flush and release durable state (idempotent)."""
         with self._lock.write():
-            if not self._closed:
-                self._wal.close()
-                self._closed = True
+            if self._closed:
+                return
+            self._closed = True
+            wal = self._wal
+        # The final flush happens outside the critical section: once
+        # ``_closed`` is set no mutation can reach the WAL, and holding
+        # every reader hostage to an fsync would stall shutdown probes.
+        wal.close()
 
-    def _ensure_open(self) -> None:
+    def _ensure_open_locked(self) -> None:
         if self._closed:
             raise ServiceError("the detection service is closed")
 

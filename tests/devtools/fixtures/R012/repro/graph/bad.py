@@ -1,0 +1,14 @@
+"""R012 fixture: a low-layer module importing upward."""
+
+from repro.service.config import ServiceConfig  # graph -> service: violation
+import repro.widgets.gizmo  # target package not assigned to any layer
+
+
+def lowlevel() -> "ServiceConfig":
+    def _late():
+        # Function-body imports are R010's domain, never R012's.
+        from repro.service.locks import ReadWriteLock
+
+        return ReadWriteLock
+
+    return _late()

@@ -1,0 +1,7 @@
+"""R012 fixture: a high-layer module importing downward is fine."""
+
+from repro.graph.digraph import DiGraph
+
+
+def highlevel() -> DiGraph:
+    return DiGraph()

@@ -1,0 +1,3 @@
+"""R012 fixture: a module in a package no layer declares."""
+
+VALUE = 1

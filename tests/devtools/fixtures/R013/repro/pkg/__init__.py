@@ -1,0 +1,10 @@
+"""R013 fixture package root: one live re-export, one dead one.
+
+``used_fn`` is referenced through its home module by ``user.py``, so
+the aggregated path here is a style choice and stays.  ``stale_fn``
+has no reader through either path: the re-export is dead.
+"""
+
+from repro.pkg.core import stale_fn, used_fn
+
+__all__ = ["stale_fn", "used_fn"]

@@ -1,0 +1,28 @@
+"""R013 fixture: live, dead, signature-live and re-exported symbols."""
+
+__all__ = ["used_fn", "dead_fn", "stale_fn", "ReportType"]
+
+
+class ReportType:
+    pass
+
+
+def used_fn() -> int:
+    return 1
+
+
+def dead_fn() -> int:
+    # Nothing anywhere references this: a dead export.
+    return 2
+
+
+def stale_fn() -> int:
+    # Only the package __init__ re-exports this; the re-export is the
+    # dead surface and is flagged there, not here.
+    return 3
+
+
+def _factory() -> ReportType:
+    # ReportType is never imported elsewhere, but it is the return type
+    # of this module's own interface: structurally reachable, not dead.
+    return ReportType()

@@ -1,0 +1,7 @@
+"""R013 fixture: the cross-module reader keeping ``used_fn`` alive."""
+
+from repro.pkg.core import used_fn
+
+
+def _consume() -> int:
+    return used_fn()

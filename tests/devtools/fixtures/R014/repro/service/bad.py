@@ -1,0 +1,34 @@
+"""R014 fixture: every way to get the lock protocol wrong."""
+
+
+class BadService:
+    _lock_guarded = frozenset({"_table", "_closed"})
+
+    def __init__(self, lock, wal):
+        # __init__ runs before the instance is shared: exempt.
+        self._lock = lock
+        self._wal = wal
+        self._table = {}
+        self._closed = False
+
+    def peek(self):
+        return self._table  # read without holding the lock
+
+    def poke(self):
+        with self._lock.read():
+            self._table = {}  # mutation under the read lock
+
+    def nested(self):
+        with self._lock.read():
+            with self._lock.write():  # nested acquisition: deadlock
+                pass
+
+    def flush(self, record):
+        with self._lock.write():
+            self._wal.append(record)  # blocking I/O under the lock
+
+    def outside(self):
+        self._compact_locked()  # assumes the write lock; none held
+
+    def _compact_locked(self):
+        self._table = {}

@@ -1,0 +1,36 @@
+"""R014 fixture: the same shapes done by the book."""
+
+
+class GoodService:
+    _lock_guarded = frozenset({"_table", "_closed"})
+
+    def __init__(self, lock, wal):
+        self._lock = lock
+        self._wal = wal
+        self._table = {}
+        self._closed = False
+
+    def peek(self):
+        with self._lock.read():
+            return dict(self._table)
+
+    def poke(self, key, value):
+        with self._lock.write():
+            self._table[key] = value
+            self._compact_locked()
+
+    def flush(self, record):
+        with self._lock.write():
+            pending = dict(self._table)
+        # Blocking I/O happens outside the critical section.
+        self._wal.append(pending)
+
+    def is_closed_rlocked(self):
+        return self._closed
+
+    def status(self):
+        with self._lock.read():
+            return self.is_closed_rlocked()
+
+    def _compact_locked(self):
+        self._table = {}

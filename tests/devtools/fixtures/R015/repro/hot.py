@@ -1,0 +1,19 @@
+"""R015 fixture: per-iteration allocation in a marked hot loop."""
+
+
+def kernel(rows, table):
+    acc = 0
+    for row in rows:
+        squares = [v * v for v in row]  # comprehension per iteration
+        acc += len(list(row))  # list() call per iteration
+        acc += table.scale * row[0]  # table.scale looked up ...
+        acc += table.scale * len(squares)  # ... twice per iteration
+    return acc
+
+
+def cold(rows):
+    # Identical shapes, but not marked hot: never flagged.
+    out = []
+    for row in rows:
+        out.append([v * v for v in row])
+    return out

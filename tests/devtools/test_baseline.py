@@ -1,0 +1,100 @@
+"""Baseline workflow: load/apply/update semantics and CLI integration."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.baseline import (
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    render_baseline,
+    write_baseline,
+)
+from repro.devtools.cli import main
+from repro.devtools.diagnostics import Diagnostic
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _diag(message="boom", line=1, rule_id="R007", path="src/mod.py"):
+    return Diagnostic(
+        path=path, line=line, col=1, rule_id=rule_id, message=message
+    )
+
+
+class TestLoad:
+    def test_missing_file_is_the_empty_baseline(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == {}
+
+    def test_roundtrip_through_render(self, tmp_path):
+        diags = (_diag("a"), _diag("a"), _diag("b", line=9))
+        path = tmp_path / "bl.json"
+        write_baseline(diags, path)
+        assert load_baseline(path) == {
+            "src/mod.py": {"R007": {"a": 2, "b": 1}}
+        }
+
+    def test_bad_version_is_rejected(self, tmp_path):
+        path = tmp_path / "bl.json"
+        path.write_text(json.dumps({"version": 99, "findings": {}}))
+        with pytest.raises(BaselineError, match="unsupported format"):
+            load_baseline(path)
+
+    def test_malformed_document_is_rejected(self, tmp_path):
+        path = tmp_path / "bl.json"
+        path.write_text(json.dumps({"version": 1, "findings": {"f.py": []}}))
+        with pytest.raises(BaselineError, match="malformed"):
+            load_baseline(path)
+
+
+class TestApply:
+    def test_counts_are_consumed_per_diagnostic(self):
+        baseline = {"src/mod.py": {"R007": {"boom": 2}}}
+        diags = (_diag(), _diag(), _diag())
+        kept, absorbed = apply_baseline(diags, baseline)
+        # Two absorbed by the recorded count; the third is NEW debt.
+        assert absorbed == 2
+        assert kept == (diags[2],)
+
+    def test_message_matching_survives_line_shifts(self):
+        baseline = {"src/mod.py": {"R007": {"boom": 1}}}
+        kept, absorbed = apply_baseline((_diag(line=999),), baseline)
+        assert absorbed == 1 and kept == ()
+
+    def test_unrelated_findings_pass_through(self):
+        baseline = {"src/mod.py": {"R007": {"boom": 1}}}
+        other = _diag(message="different", rule_id="R009")
+        kept, absorbed = apply_baseline((other,), baseline)
+        assert absorbed == 0 and kept == (other,)
+
+    def test_stale_entries_vanish_on_update(self):
+        # render_baseline writes only *current* findings: fixing one and
+        # regenerating prunes its stale entry.
+        doc = json.loads(render_baseline((_diag("still-here"),)))
+        assert doc["findings"] == {"src/mod.py": {"R007": {"still-here": 1}}}
+
+
+class TestCLIWorkflow:
+    BAD = str(FIXTURES / "R007" / "bad.py")
+
+    def test_update_then_absorb_then_strict(self, tmp_path, capsys):
+        bl = str(tmp_path / "bl.json")
+        # 1. Record the current findings as accepted debt.
+        assert main([self.BAD, "--no-project", "--baseline", bl, "--update-baseline"]) == 0
+        assert "wrote baseline" in capsys.readouterr().out
+        # 2. The same findings are absorbed: the run is clean.
+        assert main([self.BAD, "--no-project", "--baseline", bl]) == 0
+        assert "baselined" in capsys.readouterr().out
+        # 3. --no-baseline reports them all again.
+        assert main([self.BAD, "--no-project", "--no-baseline"]) == 1
+        capsys.readouterr()
+
+    def test_corrupt_baseline_is_a_usage_error(self, tmp_path, capsys):
+        bl = tmp_path / "bl.json"
+        bl.write_text("{\"version\": 99}")
+        with pytest.raises(SystemExit) as excinfo:
+            main([self.BAD, "--no-project", "--baseline", str(bl)])
+        assert excinfo.value.code == 2
+        capsys.readouterr()

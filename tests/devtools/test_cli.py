@@ -8,7 +8,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.devtools.cli import main
+from repro.devtools.cli import build_parser, main
 
 FIXTURES = Path(__file__).parent / "fixtures"
 REPO_ROOT = Path(__file__).resolve().parents[2]
@@ -20,6 +20,19 @@ def _env_with_src() -> dict[str, str]:
     existing = env.get("PYTHONPATH")
     env["PYTHONPATH"] = src if not existing else src + os.pathsep + existing
     return env
+
+
+class TestBuildParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.paths == ["src"]
+        assert args.format == "human"
+        assert not args.no_project and not args.update_baseline
+
+    def test_sarif_format_is_accepted(self):
+        args = build_parser().parse_args(["--format", "sarif", "src", "tests"])
+        assert args.format == "sarif"
+        assert args.paths == ["src", "tests"]
 
 
 class TestMain:

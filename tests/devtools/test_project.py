@@ -1,0 +1,145 @@
+"""Unit tests for phase 1: module naming and the project index."""
+
+import ast
+
+import pytest
+
+from repro.devtools.project import build_index, module_name_for
+
+
+def _index(files, subjects=None):
+    triples = [(path, text, ast.parse(text)) for path, text in files.items()]
+    return build_index(triples, subjects if subjects is not None else files.keys())
+
+
+class TestModuleNameFor:
+    @pytest.mark.parametrize(
+        ("path", "expected"),
+        [
+            ("src/repro/graph/csr.py", "repro.graph.csr"),
+            ("src/repro/graph/__init__.py", "repro.graph"),
+            ("tests/mining/test_engine.py", "tests.mining.test_engine"),
+            ("benchmarks/bench_mining.py", "benchmarks.bench_mining"),
+            # The *last* root marker wins: fixture trees opt in by layout.
+            (
+                "tests/devtools/fixtures/R012/repro/graph/bad.py",
+                "repro.graph.bad",
+            ),
+            ("setup.py", None),
+            ("scripts/tools/helper.py", None),
+        ],
+    )
+    def test_mapping(self, path, expected):
+        assert module_name_for(path) == expected
+
+
+class TestImports:
+    def test_module_level_vs_function_body(self):
+        idx = _index(
+            {
+                "src/repro/a.py": (
+                    "import repro.b\n"
+                    "def f():\n"
+                    "    from repro.c import thing\n"
+                ),
+            }
+        )
+        edges = idx.modules["repro.a"].imports
+        assert [(e.target, e.in_function) for e in edges] == [
+            ("repro.b", False),
+            ("repro.c", True),
+        ]
+
+    def test_third_party_imports_are_ignored(self):
+        idx = _index({"src/repro/a.py": "import numpy\nfrom os import path\n"})
+        assert idx.modules["repro.a"].imports == ()
+
+    def test_relative_import_resolves_against_package(self):
+        idx = _index(
+            {"src/repro/pkg/sub.py": "from . import sibling\nfrom .other import x\n"}
+        )
+        info = idx.modules["repro.pkg.sub"]
+        assert {e.target for e in info.imports} == {"repro.pkg", "repro.pkg.other"}
+
+
+class TestReferences:
+    def test_from_import_records_reference_and_binding(self):
+        idx = _index(
+            {"src/repro/a.py": "from repro.graph.csr import CSRGraph as CG\n"}
+        )
+        info = idx.modules["repro.a"]
+        assert ("repro.graph.csr", "CSRGraph") in info.references
+        assert info.import_bindings["CG"] == ("repro.graph.csr", "CSRGraph")
+
+    def test_attribute_chain_through_module_alias(self):
+        idx = _index(
+            {
+                "src/repro/a.py": (
+                    "import repro.graph.csr as csr\n"
+                    "g = csr.CSRGraph()\n"
+                ),
+            }
+        )
+        assert ("repro.graph.csr", "CSRGraph") in idx.modules["repro.a"].references
+
+    def test_references_to_excluding_drops_one_module(self):
+        idx = _index(
+            {
+                "src/repro/pkg/__init__.py": "from repro.pkg.core import helper\n",
+                "src/repro/pkg/core.py": "def helper():\n    return 1\n",
+            }
+        )
+        assert idx.references_to("repro.pkg.core", "helper")
+        assert not idx.references_to(
+            "repro.pkg.core", "helper", excluding="repro.pkg"
+        )
+
+    def test_star_import_keeps_every_export_alive(self):
+        idx = _index(
+            {
+                "src/repro/a.py": "from repro.b import *\n",
+                "src/repro/b.py": "def anything():\n    return 1\n",
+            }
+        )
+        assert idx.references_to("repro.b", "anything")
+
+
+class TestSignatureNames:
+    def test_annotations_defaults_and_bases_are_harvested(self):
+        idx = _index(
+            {
+                "src/repro/a.py": (
+                    "class Base:\n    pass\n"
+                    "class Child(Base):\n    pass\n"
+                    "DEFAULT = 3\n"
+                    "def f(x: Child = None, *, y=DEFAULT) -> 'Forward':\n"
+                    "    local: NotASignature = 0\n"
+                    "    return x\n"
+                ),
+            }
+        )
+        names = idx.modules["repro.a"].signature_names
+        assert {"Base", "Child", "DEFAULT", "Forward"} <= names
+
+    def test_string_annotation_tokens_count(self):
+        idx = _index(
+            {
+                "src/repro/a.py": 'def f() -> "dict[str, Payload]":\n    return {}\n'
+            }
+        )
+        assert "Payload" in idx.modules["repro.a"].signature_names
+
+
+class TestSubjects:
+    def test_reference_files_are_indexed_but_not_subjects(self):
+        idx = _index(
+            {
+                "src/repro/a.py": "import repro.b\n",
+                "src/repro/b.py": "X = 1\n",
+            },
+            subjects=["src/repro/a.py"],
+        )
+        assert idx.is_subject("repro.a")
+        assert not idx.is_subject("repro.b")
+        assert idx.has_module("repro.b")
+        assert [m.module for m in idx.subject_modules()] == ["repro.a"]

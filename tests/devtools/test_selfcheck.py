@@ -8,7 +8,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.devtools import lint_paths, render_human
+from repro.devtools import lint_paths, lint_project, render_human
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 SRC = REPO_ROOT / "src"
@@ -26,6 +26,14 @@ class TestReprolintGate:
     def test_all_library_files_were_seen(self):
         report = lint_paths([SRC])
         assert report.files_checked >= 80
+
+    def test_whole_program_pass_is_clean(self):
+        # The CI invocation: both phases over every first-party tree,
+        # with no help from the baseline.
+        report = lint_project(
+            [SRC, REPO_ROOT / "tests", REPO_ROOT / "benchmarks"]
+        )
+        assert report.ok, "\n" + render_human(report)
 
 
 @pytest.mark.skipif(not _installed("mypy"), reason="mypy not installed")

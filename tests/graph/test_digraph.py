@@ -6,6 +6,7 @@ import pytest
 
 from repro.errors import ArcNotFoundError, NodeNotFoundError
 from repro.graph.digraph import DiGraph
+from repro.model.colors import VColor
 
 
 def build_sample() -> DiGraph:
@@ -37,7 +38,7 @@ class TestNodes:
         g = DiGraph()
         g.add_node("x")
         g.add_node("x", color="Person")
-        assert g.node_color("x") == "Person"
+        assert g.node_color("x") == VColor.PERSON
 
     def test_recolor_conflict_raises(self):
         g = DiGraph()
@@ -200,13 +201,13 @@ class TestDerivedGraphs:
         rev = g.reversed()
         assert rev.has_arc("B", "A", "TR")
         assert rev.has_arc("A", "P", "IN")
-        assert rev.node_color("P") == "Person"
+        assert rev.node_color("P") == VColor.PERSON
 
     def test_pickle_roundtrip(self):
         g = build_sample()
         clone = pickle.loads(pickle.dumps(g))
         assert set(clone.arcs()) == set(g.arcs())
-        assert clone.node_color("P") == "Person"
+        assert clone.node_color("P") == VColor.PERSON
         clone.add_arc("B", "C", "TR")
         assert not g.has_node("C")
 
@@ -222,5 +223,5 @@ class TestReAddAfterRemoval:
         g = build_sample()
         g.remove_node("A")
         g.add_node("A", color="Company")
-        assert g.node_color("A") == "Company"
+        assert g.node_color("A") == VColor.COMPANY
         assert g.in_degree("A") == 0

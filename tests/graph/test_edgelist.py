@@ -6,6 +6,7 @@ import pytest
 from repro.errors import SerializationError
 from repro.graph.digraph import DiGraph
 from repro.graph.edgelist import COLOR_INFLUENCE, COLOR_TRADING, EdgeList
+from repro.model.colors import VColor
 
 
 def sample_graph() -> DiGraph:
@@ -79,7 +80,7 @@ class TestRoundTrip:
         back = el.to_digraph(influence_color="IN", trading_color="TR")
         assert set(back.arcs()) == set(g.arcs())
         assert set(back.nodes()) == set(g.nodes())  # isolated node survives
-        assert back.node_color("P") == "Person"
+        assert back.node_color("P") == VColor.PERSON
 
     def test_index_lookup(self):
         el = EdgeList.from_digraph(sample_graph(), influence_color="IN", trading_color="TR")

@@ -6,6 +6,7 @@ import pytest
 
 from repro.errors import NodeNotFoundError
 from repro.graph.digraph import UnGraph
+from repro.model.colors import VColor
 
 
 def build_sample() -> UnGraph:
@@ -67,7 +68,7 @@ class TestBasics:
         g = UnGraph()
         g.add_node("x")
         g.add_node("x", color="Person")
-        assert g.node_color("x") == "Person"
+        assert g.node_color("x") == VColor.PERSON
 
 
 class TestComponents:
@@ -83,4 +84,4 @@ class TestComponents:
         g = build_sample()
         clone = pickle.loads(pickle.dumps(g))
         assert set(clone.edges()) == set(g.edges())
-        assert clone.node_color("iso") == "Person"
+        assert clone.node_color("iso") == VColor.PERSON

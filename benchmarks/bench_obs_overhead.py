@@ -12,7 +12,7 @@ the question.  Instead:
 2. measure the per-operation cost of ``NULL_TRACER`` in a tight loop
    (span + enter + exit + the ``enabled`` guard);
 3. assert spans x per-op cost < 3% of that setting's recorded wall in
-   the repo-root ``BENCH_PR4.json`` baseline.
+   the repo-root ``BENCH_PR7.json`` baseline.
 
 Plus allocation checks: an untraced run must never construct a
 ``Tracer`` or attach a trace to its result.
@@ -31,7 +31,7 @@ from repro.mining.detector import detect
 from repro.mining.options import DetectOptions
 from repro.obs.tracing import NULL_TRACER, Tracer
 
-BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR4.json"
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR7.json"
 
 #: The guarded setting — densest of the baseline sweep, faithful engine
 #: (the engine with the most span sites: one per subTPIIN plus nested

@@ -9,12 +9,13 @@ trails/second per (setting, engine) cell.
 
 Usage::
 
-    python benchmarks/run_bench.py                    # full sweep -> BENCH_PR4.json
+    python benchmarks/run_bench.py                    # full sweep -> BENCH_PR7.json
     python benchmarks/run_bench.py --smoke            # tiny CI sweep, < 60 s
     python benchmarks/run_bench.py -o out.json --engines faithful csr
 
 Exit status is non-zero when any engine disagrees with the faithful
-group set, so CI can gate on agreement.
+group set, or when a parallel run leaves a shared-memory segment
+behind, so CI can gate on both.
 """
 
 from __future__ import annotations
@@ -22,7 +23,9 @@ from __future__ import annotations
 import argparse
 import gc
 import json
+import os
 import resource
+import subprocess
 import sys
 import time
 from pathlib import Path
@@ -33,19 +36,22 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.datagen.config import ProvinceConfig  # noqa: E402
 from repro.datagen.province import generate_province  # noqa: E402
 from repro.fusion.tpiin import TPIIN  # noqa: E402
+from repro.graph.shm import SHM_NAME_PREFIX  # noqa: E402
 from repro.mining.detector import DetectionResult, detect  # noqa: E402
 from repro.model.colors import EColor, VColor  # noqa: E402
 from repro.obs.tracing import Tracer  # noqa: E402
 
 #: (label, companies, trading probability) — ordered sparsest to densest.
 #: The densest settings add investment cross-arcs (path multiplicity),
-#: mirroring the conglomerate structure behind Table 1's group blow-up.
+#: mirroring the conglomerate structure behind Table 1's group blow-up;
+#: scale-10k is the ~1M-arc provincial tier (Section VI scale).
 FULL_SETTINGS: tuple[tuple[str, int, float], ...] = (
     ("sparse-120", 120, 0.010),
     ("medium-240", 240, 0.020),
     ("dense-360", 360, 0.050),
     ("denser-480", 480, 0.100),
     ("densest-720", 720, 0.100),
+    ("scale-10k", 10000, 0.0095),
 )
 
 SMOKE_SETTINGS: tuple[tuple[str, int, float], ...] = (
@@ -63,6 +69,27 @@ HEAVY_COMPANIES = 700
 
 #: Timing repetitions per (setting, engine) cell; best-of is reported.
 REPEATS = 3
+
+#: Settings at or above this company count repeat only twice — the
+#: slowest engine spends half a minute per run at the 10k tier.
+SCALE_COMPANIES = 5000
+
+
+def repeats_for(companies: int, smoke: bool) -> int:
+    if smoke:
+        return 1
+    return 2 if companies >= SCALE_COMPANIES else REPEATS
+
+
+def shm_leftovers() -> list[str]:
+    """``repro_shm_*`` names currently present in ``/dev/shm``."""
+    if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-Linux
+        return []
+    return sorted(
+        name
+        for name in os.listdir("/dev/shm")
+        if name.startswith(SHM_NAME_PREFIX)
+    )
 
 
 def relabel_realistic(tpiin: TPIIN) -> TPIIN:
@@ -113,6 +140,41 @@ def peak_rss_bytes() -> int:
     return peak if sys.platform == "darwin" else peak * 1024
 
 
+def probe_engine_rss(companies: int, probability: float, engine: str) -> int | None:
+    """Peak RSS of one engine run, measured in a fresh subprocess.
+
+    A process-wide ``ru_maxrss`` high-water mark never resets, so
+    measuring engines in one process charges every engine with the
+    hungriest predecessor's peak.  The child regenerates the dataset,
+    runs ``detect`` once and prints its own peak; generation cost is
+    identical across engines and therefore cancels in comparisons.
+    """
+    run = subprocess.run(
+        [
+            sys.executable,
+            str(Path(__file__).resolve()),
+            "--rss-probe",
+            str(companies),
+            str(probability),
+            engine,
+        ],
+        capture_output=True,
+        text=True,
+    )
+    if run.returncode != 0:  # pragma: no cover - probe crashed
+        print(f"  rss probe failed for {engine}: {run.stderr.strip()}", flush=True)
+        return None
+    return int(run.stdout.strip().splitlines()[-1])
+
+
+def rss_probe_main(companies: int, probability: float, engine: str) -> int:
+    """Child-process entry: one generate + detect, peak RSS on stdout."""
+    tpiin = build_tpiin(companies, probability)
+    detect(tpiin, engine=engine)
+    print(peak_rss_bytes())
+    return 0
+
+
 def time_engines(
     tpiin: TPIIN, engines: tuple[str, ...], repeats: int
 ) -> dict[str, float]:
@@ -141,6 +203,7 @@ def bench_setting(
     probability: float,
     engines: tuple[str, ...],
     repeats: int = REPEATS,
+    probe_rss: bool = True,
 ) -> dict[str, Any]:
     tpiin = build_tpiin(companies, probability)
     walls = time_engines(tpiin, engines, repeats)
@@ -150,17 +213,26 @@ def bench_setting(
         # Untimed verification run: collect outputs and agreement keys.
         result: DetectionResult = detect(tpiin, engine=engine)
         wall = walls[engine]
+        # For the parallel engine groups are lazy — the first full pass
+        # below is exactly the deferred materialization cost.
+        started = time.perf_counter()
         group_keys[engine] = frozenset(g.key() for g in result.groups)
+        materialize = time.perf_counter() - started
         # The fast engine skips trail enumeration entirely and reports None.
         trails = result.pattern_trail_count
         cells[engine] = {
             "wall_seconds": round(wall, 4),
-            "peak_rss_bytes": peak_rss_bytes(),
+            "peak_rss_bytes": (
+                probe_engine_rss(companies, probability, engine)
+                if probe_rss
+                else None
+            ),
             "pattern_trails": trails,
             "trails_per_second": (
                 round(trails / wall, 1) if trails is not None and wall > 0 else None
             ),
             "groups": len(result.groups),
+            "groups_materialize_seconds": round(materialize, 4),
             "suspicious_arcs": len(result.suspicious_trading_arcs),
             "truncated": result.truncated,
         }
@@ -174,13 +246,14 @@ def bench_setting(
         "arcs": tpiin.graph.number_of_arcs(),
         "engines": cells,
         "engines_agree": agree,
+        "shm_leftovers": shm_leftovers(),
     }
-    if "faithful" in cells and "csr" in cells:
-        faithful_wall = cells["faithful"]["wall_seconds"]
-        csr_wall = cells["csr"]["wall_seconds"]
-        setting["csr_speedup_vs_faithful"] = (
-            round(faithful_wall / csr_wall, 2) if csr_wall > 0 else None
-        )
+    for engine, key in (("csr", "csr_speedup_vs_faithful"),
+                        ("parallel", "parallel_speedup_vs_faithful")):
+        if "faithful" in cells and engine in cells:
+            faithful_wall = cells["faithful"]["wall_seconds"]
+            wall = cells[engine]["wall_seconds"]
+            setting[key] = round(faithful_wall / wall, 2) if wall > 0 else None
     return setting
 
 
@@ -229,19 +302,64 @@ def compare_reports(
     return regressions
 
 
+def pooled_parallel_cell(
+    settings: tuple[tuple[str, int, float], ...]
+) -> dict[str, Any]:
+    """Force a real worker pool through the shared segment (CI smoke).
+
+    On single-CPU runners the parallel engine's gate keeps everything
+    in-process, so the pooled path — fork, attach, bucket merge — would
+    go unexercised; this runs it explicitly on the last (largest)
+    setting and cross-checks the group set against the faithful engine.
+    """
+    label, companies, probability = settings[-1]
+    tpiin = build_tpiin(companies, probability)
+    started = time.perf_counter()
+    pooled = detect(
+        tpiin, engine="parallel", processes=2, min_pool_work=0
+    )
+    wall = time.perf_counter() - started
+    faithful = detect(tpiin)
+    agree = {g.key() for g in pooled.groups} == {g.key() for g in faithful.groups}
+    return {
+        "setting": label,
+        "wall_seconds": round(wall, 4),
+        "groups": len(pooled.groups),
+        "agrees_with_faithful": agree,
+        "shm_leftovers": shm_leftovers(),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv[:1] == ["--rss-probe"]:
+        companies, probability, engine = argv[1], argv[2], argv[3]
+        return rss_probe_main(int(companies), float(probability), engine)
+
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "-o",
         "--output",
         type=Path,
-        default=Path(__file__).resolve().parent.parent / "BENCH_PR4.json",
-        help="where to write the JSON report (default: repo-root BENCH_PR4.json)",
+        default=Path(__file__).resolve().parent.parent / "BENCH_PR7.json",
+        help="where to write the JSON report (default: repo-root BENCH_PR7.json)",
     )
     parser.add_argument(
         "--smoke",
         action="store_true",
         help="tiny settings for CI: fast, still checks cross-engine agreement",
+    )
+    parser.add_argument(
+        "--pooled-parallel",
+        action="store_true",
+        help="additionally force a 2-worker pooled parallel run on the "
+        "largest setting and verify it against the faithful engine",
+    )
+    parser.add_argument(
+        "--no-rss-probe",
+        action="store_true",
+        help="skip the fresh-subprocess per-engine peak-RSS probes",
     )
     parser.add_argument(
         "--engines",
@@ -280,7 +398,12 @@ def main(argv: list[str] | None = None) -> int:
     for label, companies, probability in settings:
         print(f"[{label}] companies={companies} p={probability} ...", flush=True)
         setting = bench_setting(
-            label, companies, probability, engines, repeats=1 if args.smoke else REPEATS
+            label,
+            companies,
+            probability,
+            engines,
+            repeats=repeats_for(companies, args.smoke),
+            probe_rss=not args.no_rss_probe,
         )
         for engine in engines:
             cell = setting["engines"][engine]
@@ -293,33 +416,61 @@ def main(argv: list[str] | None = None) -> int:
             )
         if not setting["engines_agree"]:
             print(f"  !! engines disagree on {label}", flush=True)
-        if "csr_speedup_vs_faithful" in setting:
-            print(f"  csr speedup vs faithful: {setting['csr_speedup_vs_faithful']}x", flush=True)
+        if setting["shm_leftovers"]:
+            print(f"  !! leaked shm segments: {setting['shm_leftovers']}", flush=True)
+        for key in ("csr_speedup_vs_faithful", "parallel_speedup_vs_faithful"):
+            if key in setting:
+                engine = key.split("_", 1)[0]
+                print(f"  {engine} speedup vs faithful: {setting[key]}x", flush=True)
         results.append(setting)
 
     report = {
-        "benchmark": "pr4-csr-mining-kernel",
+        "benchmark": "pr7-shm-parallel-engine",
         "mode": "smoke" if args.smoke else "full",
         "generator_seed": GENERATOR_SEED,
         "notes": (
-            "peak_rss_bytes is process-wide ru_maxrss and only grows over a run; "
-            "engines are benchmarked sparsest-setting-first so later cells carry "
-            "earlier high-water marks. wall_seconds is best-of-repeats with "
-            "engines interleaved round-robin, gc.collect() before each timed "
-            "run, GC enabled during it, and nothing retained across timed runs; "
-            "dataset generation and the verification pass are excluded. Node "
-            "ids are 18-char registration-code style (see relabel_realistic)."
+            "peak_rss_bytes is measured per engine in a fresh subprocess "
+            "(generate + one detect; ru_maxrss of the child), so engines do "
+            "not inherit each other's high-water marks. wall_seconds is "
+            "best-of-repeats with engines interleaved round-robin, "
+            "gc.collect() before each timed run, GC enabled during it, and "
+            "nothing retained across timed runs; dataset generation and the "
+            "verification pass are excluded. The parallel engine defers "
+            "group materialization — groups_materialize_seconds is the first "
+            "full pass over result.groups during verification. Node ids are "
+            "18-char registration-code style (see relabel_realistic)."
         ),
         "settings": results,
     }
+    if args.pooled_parallel and "parallel" in engines:
+        report["pooled_parallel"] = pooled_parallel_cell(settings)
+        cell = report["pooled_parallel"]
+        print(
+            f"[pooled-parallel] {cell['setting']}: {cell['wall_seconds']:.3f}s "
+            f"agree={cell['agrees_with_faithful']} "
+            f"leftovers={cell['shm_leftovers']}",
+            flush=True,
+        )
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")
 
     if args.trace_out is not None:
         write_trace_jsonl(settings, engines[0], args.trace_out)
 
+    failed = False
     if not all(s["engines_agree"] for s in results):
         print("FAIL: engine group sets disagree", file=sys.stderr)
+        failed = True
+    if any(s["shm_leftovers"] for s in results):
+        print("FAIL: leaked shared-memory segments", file=sys.stderr)
+        failed = True
+    pooled_cell = report.get("pooled_parallel")
+    if pooled_cell is not None and not (
+        pooled_cell["agrees_with_faithful"] and not pooled_cell["shm_leftovers"]
+    ):
+        print("FAIL: pooled parallel run disagreed or leaked", file=sys.stderr)
+        failed = True
+    if failed:
         return 1
 
     if args.compare is not None:

@@ -39,6 +39,9 @@ _DEFAULT_HOT_FUNCTIONS: tuple[str, ...] = (
     "repro.graph.csr::CSRGraph.freeze_parts",
     "repro.mining.csr_engine::_enumerate",
     "repro.mining.csr_engine::mine_frozen",
+    "repro.mining.csr_engine::mine_frontier_compact",
+    "repro.mining.csr_engine::mine_stack_compact",
+    "repro.mining.compact::_circle_flags",
 )
 
 _DEFAULT_BLOCKING_CALLS: tuple[str, ...] = (

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import time
 from collections import Counter
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -54,7 +55,9 @@ class SubTPIINResult:
     node_count: int
     trading_arc_count: int
     pattern_trail_count: int
-    groups: list[SuspiciousGroup] = field(default_factory=list)
+    # A plain list for the eager engines, a lazily-materialized
+    # :class:`~repro.mining.compact.LazyGroups` for the parallel engine.
+    groups: Sequence[SuspiciousGroup] = field(default_factory=list)
 
     @property
     def suspicious_arcs(self) -> set[tuple[Node, Node]]:
@@ -70,7 +73,9 @@ class DetectionResult:
     below fall back to them when ``groups`` is empty.
     """
 
-    groups: list[SuspiciousGroup]
+    # Eager engines fill a plain list; the parallel engine supplies a
+    # sized, lazily-materialized sequence (``len`` is O(1) either way).
+    groups: Sequence[SuspiciousGroup]
     total_trading_arcs: int
     cross_component_trades: int
     subtpiin_count: int
@@ -115,7 +120,16 @@ class DetectionResult:
 
     @property
     def group_count(self) -> int:
-        return self.simple_group_count + self.complex_group_count
+        """Total groups, without classifying them.
+
+        Uses the count overrides when an engine supplied them (the
+        fast engine's count-only mode), else ``len(groups)`` — never a
+        simple/complex classification pass, which costs two full
+        interior-set scans and would materialize lazy group sequences.
+        """
+        if self.simple_count_override is not None and self.complex_count_override is not None:
+            return self.simple_count_override + self.complex_count_override
+        return len(self.groups)
 
     @property
     def suspicious_arc_count(self) -> int:
@@ -208,6 +222,7 @@ def detect(
     processes: int | None = None,
     collect_groups: bool | None = None,
     trace: TraceSpec | None = None,
+    min_pool_work: int | None = None,
 ) -> DetectionResult:
     """Detect all suspicious tax evasion groups in ``tpiin``.
 
@@ -241,6 +256,10 @@ def detect(
     processes:
         Parallel engine only: worker-process count (defaults to the
         machine's CPU count).
+    min_pool_work:
+        Parallel engine only: minimum total estimated mining work
+        before a worker pool is spawned; smaller jobs (or single-CPU
+        machines) mine in-process on the same compact kernels.
     collect_groups:
         Fast and incremental engines only: ``False`` keeps the Table-1
         tallies without materializing every group object.
@@ -257,6 +276,7 @@ def detect(
         processes=processes,
         collect_groups=collect_groups,
         trace=trace,
+        min_pool_work=min_pool_work,
     )
     tracer = opts.resolve_tracer()
     started = time.perf_counter()
@@ -291,7 +311,12 @@ def _run_engine(tpiin: TPIIN, opts: DetectOptions, tracer: TracerLike) -> Detect
     if opts.engine is Engine.PARALLEL:
         from repro.mining.parallel import parallel_detect  # reprolint: disable=R010
 
-        return parallel_detect(tpiin, processes=opts.processes, tracer=tracer)
+        return parallel_detect(
+            tpiin,
+            processes=opts.processes,
+            min_pool_work=opts.min_pool_work,
+            tracer=tracer,
+        )
     if opts.engine is Engine.INCREMENTAL:
         from repro.mining.incremental import (  # reprolint: disable=R010
             IncrementalDetector,

@@ -76,6 +76,11 @@ class DetectOptions:
     processes: int | None = None
     collect_groups: bool = True
     trace: TraceSpec = False
+    # Parallel engine: minimum total estimated mining work (tree nodes +
+    # emissions) before a worker pool is spawned; below it the engine
+    # mines in-process on the same compact kernels.  None = the
+    # engine's built-in default.
+    min_pool_work: int | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "engine", Engine.coerce(self.engine))
@@ -85,6 +90,8 @@ class DetectOptions:
             )
         if self.processes is not None and self.processes < 1:
             raise MiningError(f"processes must be >= 1, got {self.processes}")
+        if self.min_pool_work is not None and self.min_pool_work < 0:
+            raise MiningError(f"min_pool_work must be >= 0, got {self.min_pool_work}")
 
     def with_overrides(self, **overrides: object) -> "DetectOptions":
         """A copy with every non-``None`` override applied.

@@ -1,153 +1,266 @@
-"""Parallel subTPIIN mining (the paper's future-work item).
+"""Zero-copy shared-memory parallel mining (``engine="parallel"``).
 
 Algorithm 1's divide-and-conquer segmentation makes the mining
-embarrassingly parallel: each subTPIIN is mined independently and only
-the group lists are merged.  This module distributes the per-subTPIIN
-pipeline (Algorithm 2 + matching, in its CSR-kernel form) over a
-process pool.
+embarrassingly parallel: each influence component is mined
+independently and only the results are merged.  Earlier revisions
+pickled one frozen kernel *per subTPIIN* to a process pool; this module
+replaces that fan-out end to end:
 
-Worker payloads are **frozen CSR kernels**, not pickled
-dict-of-dict :class:`~repro.graph.digraph.DiGraph` objects: the
-``(offsets, targets)`` arrays pickle as flat byte blobs, so IPC ships a
-fraction of the bytes and workers unpickle buffers instead of
-rebuilding hash tables.  Payloads are ordered **largest-first** (LPT
-scheduling) so one giant subTPIIN starts immediately instead of
-tail-blocking the pool from the last chunk.
+* the whole TPIIN is frozen **once** into a
+  :class:`~repro.graph.csr.CSRGraph` and exported into a single POSIX
+  shared-memory segment (:meth:`~repro.graph.csr.CSRGraph.to_shared`);
+  workers attach the same physical pages zero-copy instead of
+  unpickling per-component adjacency;
+* components are grouped into one bucket per worker by **estimated
+  mining work** (the :class:`~repro.mining.compact.MiningPlan` path-
+  count estimate, assigned largest-first / LPT), not by node count —
+  tree size, not graph size, is what a component costs;
+* each bucket runs the compact kernels
+  (:func:`~repro.mining.csr_engine.mine_components`: batched frontier
+  expansion for large acyclic components, the guarded stack walk for
+  the rest) and returns flat count + tree arrays, never group objects;
+* group objects materialize **lazily**
+  (:class:`~repro.mining.compact.LazyGroups`) in the parent, only if a
+  caller actually reads them.
+
+Small jobs skip the pool entirely and mine in-process on the very same
+kernels — on a single-CPU host the parallel engine is therefore the
+fastest *serial* engine, not a degraded one.  Segment lifecycle is
+crash-safe: the owner unlinks in a ``finally``, an ``atexit`` hook and
+the stdlib resource tracker cover abnormal exits (see
+:mod:`repro.graph.shm`).
 """
 
 from __future__ import annotations
 
+import heapq
 import os
 import time
+from collections import Counter
 from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
 
 from repro.fusion.tpiin import TPIIN
 from repro.graph.csr import CSRGraph
-from repro.mining.csr_engine import freeze_subtpiin, mine_frozen
+from repro.graph.shm import SharedSegment
+from repro.mining.compact import (
+    CompactCounts,
+    CompactMine,
+    LazyGroups,
+    MiningPlan,
+    build_plan,
+    count_mine,
+    make_group_store,
+    merge_counts,
+    unpack_arcs,
+)
+from repro.mining.csr_engine import mine_components
 from repro.mining.detector import DetectionResult, SubTPIINResult
-from repro.mining.groups import SuspiciousGroup
+from repro.mining.groups import GroupKind
 from repro.mining.scs_groups import scs_suspicious_groups
-from repro.mining.segmentation import segment
 from repro.model.colors import EColor
-from repro.obs.profile import SUBTPIIN_SPAN
 from repro.obs.tracing import NULL_TRACER, TracerLike
 
-__all__ = ["parallel_detect"]
+__all__ = ["DEFAULT_MIN_POOL_WORK", "parallel_detect"]
 
-#: One worker outcome: (index, trails, groups, worker wall seconds).
-_Outcome = tuple[int, int, list[SuspiciousGroup], float]
+#: Minimum total estimated mining work (tree nodes + emissions) before
+#: a worker pool is spawned.  Below it, process start-up and result
+#: pickling dominate any speedup, so the job mines in-process on the
+#: same compact kernels.  Calibrated against the benchmark sweep: the
+#: densest-720 setting (~0.5 M estimated work) mines in well under the
+#: ~100 ms a pool costs to spin up.
+DEFAULT_MIN_POOL_WORK = 5_000_000
+
+#: One worker outcome: (mine, counts, attach/mine/detach wall seconds).
+_Outcome = tuple[CompactMine, CompactCounts, float, float, float]
 
 
-def _mine_one(payload: tuple[int, CSRGraph]) -> _Outcome:
-    """Worker: mine one frozen subTPIIN; returns (index, trails, groups, secs).
+def _lpt_buckets(
+    comps: np.ndarray, weights: np.ndarray, buckets: int
+) -> list[list[int]]:
+    """Longest-processing-time assignment of components to buckets.
 
-    The elapsed wall time rides back with the result so the parent can
-    attach a per-worker span at the join point (workers cannot share the
-    parent's tracer across the process boundary).
+    Components are placed heaviest-first onto the least-loaded bucket,
+    so one giant component starts immediately instead of tail-blocking
+    the pool.  Empty buckets are dropped.
     """
-    index, csr = payload
+    order = np.argsort(weights, kind="stable")[::-1]
+    heap: list[tuple[float, int]] = [(0.0, index) for index in range(buckets)]
+    heapq.heapify(heap)
+    assigned: list[list[int]] = [[] for _ in range(buckets)]
+    for comp, weight in zip(comps[order].tolist(), weights[order].tolist()):
+        load, index = heapq.heappop(heap)
+        assigned[index].append(comp)
+        heapq.heappush(heap, (load + weight, index))
+    return [bucket for bucket in assigned if bucket]
+
+
+def _mine_bucket(
+    payload: tuple[str, MiningPlan, list[int]],
+) -> _Outcome:
+    """Worker: attach the shared adjacency, mine one bucket, detach.
+
+    The attach is zero-copy — the worker maps the owner's pages and the
+    CSR buffers are ``memoryview`` slices into them.  Only the compact
+    result arrays travel back through the result pickle.  Wall times
+    for attach/mine/detach ride along so the parent can stamp spans at
+    the join (workers cannot share the parent's tracer).
+    """
+    segment_name, plan, comp_ids = payload
     started = time.perf_counter()
-    trail_count, _truncated, groups = mine_frozen(csr)
-    return index, trail_count, groups, time.perf_counter() - started
+    segment = SharedSegment.attach(segment_name)
+    csr = CSRGraph.from_shared(segment)
+    attach_seconds = time.perf_counter() - started
+    try:
+        started = time.perf_counter()
+        mine = mine_components(csr, plan, np.asarray(comp_ids, dtype=np.int64))
+        counts = count_mine(mine, plan)
+        mine_seconds = time.perf_counter() - started
+    finally:
+        started = time.perf_counter()
+        del csr
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - view pinned by a traceback
+            pass  # the mapping is released when the worker exits
+        detach_seconds = time.perf_counter() - started
+    return mine, counts, attach_seconds, mine_seconds, detach_seconds
+
+
+def _pooled_mine(
+    csr: CSRGraph,
+    plan: MiningPlan,
+    buckets: list[list[int]],
+    tracer: TracerLike,
+) -> tuple[CompactMine, CompactCounts]:
+    """Fan buckets out over a pool attached to one shared segment."""
+    segment = csr.to_shared()
+    try:
+        with ProcessPoolExecutor(max_workers=len(buckets)) as pool:
+            payloads = [(segment.name, plan, bucket) for bucket in buckets]
+            outcomes: list[_Outcome] = list(pool.map(_mine_bucket, payloads))
+    finally:
+        segment.close()
+        segment.unlink()
+    if tracer.enabled:
+        for index, outcome in enumerate(outcomes):
+            _, _, attach_seconds, mine_seconds, detach_seconds = outcome
+            tracer.record("worker_attach", attach_seconds, bucket=index)
+            tracer.record(
+                "mine_bucket",
+                mine_seconds,
+                bucket=index,
+                components=len(buckets[index]),
+            )
+            tracer.record("worker_detach", detach_seconds, bucket=index)
+    mine = CompactMine.merge([o[0] for o in outcomes], plan.n_components)
+    counts = merge_counts([o[1] for o in outcomes], plan.n_components)
+    return mine, counts
 
 
 def parallel_detect(
     tpiin: TPIIN,
     *,
     processes: int | None = None,
-    min_subtpiins_for_pool: int = 2,
+    min_pool_work: int | None = None,
     tracer: TracerLike = NULL_TRACER,
 ) -> DetectionResult:
-    """CSR-kernel detection with subTPIINs fanned out across processes.
+    """Shared-memory parallel detection over the compact CSR kernels.
 
-    Falls back to in-process execution when there are fewer than
-    ``min_subtpiins_for_pool`` non-trivial subTPIINs (pool startup would
-    dominate).  Results are identical to ``detect(engine="faithful")``
-    up to group ordering; the property suite compares them as sets.
+    ``processes`` bounds the worker pool (default: CPU count); the pool
+    only spawns when there are at least two workers, at least two
+    non-trivial components, and the total estimated mining work clears
+    ``min_pool_work`` (default :data:`DEFAULT_MIN_POOL_WORK`) — below
+    that the same kernels run in-process, which beats every other
+    engine serially.  Results are identical to
+    ``detect(engine="faithful")`` up to group ordering; the property
+    suite compares them as sets.
     """
-    with tracer.span("segment") as seg_span:
-        segmentation = segment(tpiin, skip_trivial=True)
-        if tracer.enabled:
-            seg_span.set(
-                subtpiins=len(segmentation.subtpiins),
-                components=segmentation.total_components,
-            )
     with tracer.span("freeze") as freeze_span:
-        payloads = [
-            (sub.index, freeze_subtpiin(sub.graph)) for sub in segmentation.subtpiins
-        ]
-        # Largest-first: the heaviest kernels enter the pool first, so the
-        # slowest subTPIIN overlaps with everything else instead of being
-        # scheduled last and stretching the tail.
-        payloads.sort(key=lambda p: p[1].number_of_arcs(), reverse=True)
+        csr = CSRGraph.freeze(
+            tpiin.graph, colors=(EColor.INFLUENCE, EColor.TRADING)
+        )
         if tracer.enabled:
-            freeze_span.set(payloads=len(payloads))
-
-    outcomes: list[_Outcome]
-    with tracer.span("fan_out") as fan_span:
-        if len(payloads) < min_subtpiins_for_pool:
-            pooled = False
-            outcomes = [_mine_one(p) for p in payloads]
-        else:
-            pooled = True
-            # Resolve the worker count the same way the pool would, so the
-            # chunk size tracks the actual parallelism (4 chunks per worker)
-            # instead of assuming a 4-process pool.
-            workers = processes if processes is not None else (os.cpu_count() or 1)
-            chunk = max(1, len(payloads) // (workers * 4))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                outcomes = list(pool.map(_mine_one, payloads, chunksize=chunk))
+            freeze_span.set(nodes=len(csr), arcs=csr.number_of_arcs())
+    with tracer.span("plan") as plan_span:
+        plan = build_plan(csr, tpiin.graph.nodes())
+        selected = plan.nontrivial()
+        total_work = float(plan.est_work[selected].sum())
         if tracer.enabled:
-            fan_span.set(
-                pooled=pooled,
-                processes=(
-                    processes if processes is not None else (os.cpu_count() or 1)
-                ),
+            plan_span.set(
+                components=plan.n_components,
+                nontrivial=int(selected.size),
+                cross_component_trades=plan.cross_count,
+                estimated_work=total_work,
             )
-            # Per-worker spans, aggregated at the join: each subTPIIN's
-            # wall time is stamped onto the parent's clock ending "now".
-            for index, trail_count, sub_groups, seconds in outcomes:
-                tracer.record(
-                    SUBTPIIN_SPAN,
-                    seconds,
-                    index=index,
-                    trails=trail_count,
-                    groups=len(sub_groups),
-                )
 
-    outcomes.sort(key=lambda item: item[0])
-    groups: list[SuspiciousGroup] = []
+    workers = processes if processes is not None else (os.cpu_count() or 1)
+    threshold = DEFAULT_MIN_POOL_WORK if min_pool_work is None else min_pool_work
+    pooled = workers >= 2 and selected.size >= 2 and total_work >= threshold
+    with tracer.span("mine") as mine_span:
+        if pooled:
+            buckets = _lpt_buckets(selected, plan.est_work[selected], workers)
+            mine, counts = _pooled_mine(csr, plan, buckets, tracer)
+            if tracer.enabled:
+                mine_span.set(
+                    pooled=True,
+                    workers=len(buckets),
+                    shm_bytes=csr.nbytes,
+                )
+        else:
+            mine = mine_components(csr, plan, selected)
+            counts = count_mine(mine, plan)
+            if tracer.enabled:
+                mine_span.set(pooled=False, workers=1)
+
+    decode = csr.decode_table
+    store = make_group_store(mine, decode, plan.comp_id)
+    groups_by_comp = counts.matched_by_comp + counts.circle_by_comp
     sub_results: list[SubTPIINResult] = []
-    trail_total = 0
-    by_index = {sub.index: sub for sub in segmentation.subtpiins}
-    for index, trail_count, sub_groups, _seconds in outcomes:
-        trail_total += trail_count
-        groups.extend(sub_groups)
-        sub = by_index[index]
+    for running_index, comp in enumerate(selected.tolist()):
         sub_results.append(
             SubTPIINResult(
-                index=index,
-                node_count=len(sub.nodes),
-                trading_arc_count=sub.trading_arc_count,
-                pattern_trail_count=trail_count,
-                groups=sub_groups,
+                index=running_index,
+                node_count=int(plan.comp_sizes[comp]),
+                trading_arc_count=int(plan.trading_by_comp[comp]),
+                pattern_trail_count=int(counts.trails_by_comp[comp]),
+                groups=LazyGroups(store, comp, int(groups_by_comp[comp])),
             )
         )
+
     with tracer.span("scs_groups") as scs_span:
         scs_groups = scs_suspicious_groups(tpiin)
         if tracer.enabled:
             scs_span.set(groups=len(scs_groups))
-    groups.extend(scs_groups)
+
+    matched_total = int(counts.matched_by_comp.sum())
+    circle_total = int(counts.circle_by_comp.sum())
+    arc_tails, arc_heads = unpack_arcs(counts.suspicious_arcs, plan.n_nodes)
+    suspicious_arcs = {
+        (decode[tail], decode[head])
+        for tail, head in zip(arc_tails.tolist(), arc_heads.tolist())
+    }
+    suspicious_arcs.update(g.trading_arc for g in scs_groups)
+    kind_counts: Counter[GroupKind] = Counter()
+    kind_counts[GroupKind.MATCHED] = matched_total
+    kind_counts[GroupKind.CIRCLE] = circle_total
+    kind_counts[GroupKind.SCS] = len(scs_groups)
 
     total_trading = tpiin.graph.number_of_arcs(EColor.TRADING) + len(
         tpiin.intra_scs_trades
     )
+    groups: LazyGroups = LazyGroups(
+        store, None, matched_total + circle_total, tail=scs_groups
+    )
     return DetectionResult(
         groups=groups,
         total_trading_arcs=total_trading,
-        cross_component_trades=len(segmentation.cross_component_trades),
-        subtpiin_count=segmentation.total_components,
+        cross_component_trades=plan.cross_count,
+        subtpiin_count=plan.n_components,
         engine="parallel",
-        pattern_trail_count=trail_total,
+        pattern_trail_count=int(counts.trails_by_comp.sum()),
         sub_results=sub_results,
+        kind_counts_override=kind_counts,
+        suspicious_arcs_override=suspicious_arcs,
     )

@@ -35,9 +35,11 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.datagen.config import ProvinceConfig  # noqa: E402
 from repro.datagen.province import generate_province  # noqa: E402
+from repro.detectors import ALL_DETECTORS, run_detectors  # noqa: E402
 from repro.fusion.tpiin import TPIIN  # noqa: E402
 from repro.graph.shm import SHM_NAME_PREFIX  # noqa: E402
 from repro.mining.detector import DetectionResult, detect  # noqa: E402
+from repro.mining.options import DetectOptions  # noqa: E402
 from repro.model.colors import EColor, VColor  # noqa: E402
 from repro.obs.tracing import Tracer  # noqa: E402
 
@@ -132,6 +134,83 @@ def build_tpiin(companies: int, probability: float) -> TPIIN:
     dataset = generate_province(config)
     tpiin = dataset.overlay_trading(dataset.antecedent_tpiin(), probability)
     return relabel_realistic(tpiin)
+
+
+#: The (label, companies, probability) tier the detector-portfolio cell
+#: runs on: densest-720 in full mode, the larger smoke tier in --smoke.
+DETECTOR_TIER: tuple[str, int, float] = ("densest-720", 720, 0.100)
+DETECTOR_SMOKE_TIER: tuple[str, int, float] = ("smoke-90", 90, 0.050)
+
+
+def build_registry_tpiin(companies: int, probability: float) -> TPIIN:
+    """Like :func:`build_tpiin` but keeping the entity registry attached.
+
+    The detector portfolio needs registry provenance (declared capital
+    for ``missing-trader``, syndicate contraction kinds for
+    ``shared-household``); the registration-code relabeling used by the
+    engine sweep drops it, so the detectors cell keeps generator ids.
+    """
+    if companies >= HEAVY_COMPANIES:
+        config = ProvinceConfig(
+            companies=companies,
+            legal_persons=max(2, int(companies * 0.55)),
+            directors=max(1, int(companies * 0.316)),
+            investment_extra_arc_share=0.20,
+            dual_holding_attach_both=0.9,
+            seed=GENERATOR_SEED,
+        )
+    else:
+        config = ProvinceConfig.small(companies=companies, seed=GENERATOR_SEED)
+    dataset = generate_province(config)
+    return dataset.overlay_trading(dataset.antecedent_tpiin(), probability)
+
+
+def detectors_cell(smoke: bool) -> dict[str, Any]:
+    """Time the full detector portfolio against an IAT-only run.
+
+    Both runs share one tier and one engine (fast); the difference is
+    what the three structural detectors plus the shared trading freeze
+    cost on top of the paper's miner.  Best-of-repeats, interleaved,
+    same GC discipline as :func:`time_engines`.
+    """
+    label, companies, probability = DETECTOR_SMOKE_TIER if smoke else DETECTOR_TIER
+    repeats = repeats_for(companies, smoke)
+    tpiin = build_registry_tpiin(companies, probability)
+    options = DetectOptions(engine="fast")
+    walls = {"iat_only": float("inf"), "portfolio": float("inf")}
+    for _ in range(repeats):
+        for key, selection in (
+            ("iat_only", ["iat-groups"]),
+            ("portfolio", ALL_DETECTORS),
+        ):
+            gc.collect()
+            started = time.perf_counter()
+            run_detectors(tpiin, selection, options=options)
+            walls[key] = min(walls[key], time.perf_counter() - started)
+    report = run_detectors(tpiin, ALL_DETECTORS, options=options)
+    overhead = walls["portfolio"] - walls["iat_only"]
+    return {
+        "setting": label,
+        "companies": companies,
+        "trading_probability": probability,
+        "engine": "fast",
+        "iat_only_wall_seconds": round(walls["iat_only"], 4),
+        "portfolio_wall_seconds": round(walls["portfolio"], 4),
+        "portfolio_overhead_seconds": round(overhead, 4),
+        "portfolio_overhead_ratio": (
+            round(walls["portfolio"] / walls["iat_only"], 3)
+            if walls["iat_only"] > 0
+            else None
+        ),
+        "detectors": {
+            name: {
+                "version": run.version,
+                "findings": len(run.findings),
+                "elapsed_seconds": round(run.elapsed_seconds, 4),
+            }
+            for name, run in report.runs.items()
+        },
+    }
 
 
 def peak_rss_bytes() -> int:
@@ -351,6 +430,13 @@ def main(argv: list[str] | None = None) -> int:
         help="tiny settings for CI: fast, still checks cross-engine agreement",
     )
     parser.add_argument(
+        "--detectors",
+        action="store_true",
+        help="run only the detector-portfolio cell (full portfolio vs "
+        "IAT-only on the densest-720 tier; smoke tier with --smoke) and "
+        "write it as a pr8 report (default output: BENCH_PR8.json)",
+    )
+    parser.add_argument(
         "--pooled-parallel",
         action="store_true",
         help="additionally force a 2-worker pooled parallel run on the "
@@ -391,6 +477,47 @@ def main(argv: list[str] | None = None) -> int:
         "(default: 0.03)",
     )
     args = parser.parse_args(argv)
+
+    if args.detectors:
+        default_output = parser.get_default("output")
+        output = (
+            args.output
+            if args.output != default_output
+            else default_output.parent / "BENCH_PR8.json"
+        )
+        cell = detectors_cell(args.smoke)
+        report = {
+            "benchmark": "pr8-detector-portfolio",
+            "mode": "smoke" if args.smoke else "full",
+            "generator_seed": GENERATOR_SEED,
+            "notes": (
+                "wall_seconds is best-of-repeats with the two selections "
+                "interleaved and gc.collect() before each timed run. "
+                "portfolio runs all registered detectors over ONE shared "
+                "frozen trading view; iat_only runs just the paper's miner "
+                "through the same plugin path, so the overhead column is "
+                "what the three structural detectors cost on top of it. "
+                "The tier keeps generator node ids and the entity registry "
+                "(declared capital, syndicate provenance) attached."
+            ),
+            "detectors_cell": cell,
+        }
+        print(
+            f"[{cell['setting']}] iat-only {cell['iat_only_wall_seconds']:.3f}s, "
+            f"portfolio {cell['portfolio_wall_seconds']:.3f}s "
+            f"(+{cell['portfolio_overhead_seconds']:.3f}s, "
+            f"x{cell['portfolio_overhead_ratio']})",
+            flush=True,
+        )
+        for name, per in cell["detectors"].items():
+            print(
+                f"  {name:>16}: {per['elapsed_seconds']:8.3f}s  "
+                f"{per['findings']:>6} findings",
+                flush=True,
+            )
+        output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {output}")
+        return 0
 
     settings = SMOKE_SETTINGS if args.smoke else FULL_SETTINGS
     engines = tuple(args.engines)

@@ -59,6 +59,7 @@ def build_audit_report(
         render_table(
             ["metric", "value"],
             [
+                ["detector", f"{result.detector} v{result.detector_version}"],
                 ["engine", result.engine],
                 ["subTPIINs", result.subtpiin_count],
                 ["complex suspicious groups", result.complex_group_count],

@@ -73,11 +73,15 @@ class CompanyInvestigation:
     groups: list[SuspiciousGroup] = field(default_factory=list)
     suspicious_sales: list[tuple[Node, float]] = field(default_factory=list)
     suspicious_purchases: list[tuple[Node, float]] = field(default_factory=list)
+    detector: str = ""  # which detector produced `groups` (audit provenance)
+    detector_version: str = ""
 
     def to_dict(self) -> dict[str, object]:
         """A JSON-ready view (the serving daemon's ``/investigate``)."""
         return {
             "company": str(self.company),
+            "detector": self.detector,
+            "detector_version": self.detector_version,
             "influencers": [str(n) for n in self.influencers],
             "investors": [str(n) for n in self.investors],
             "holdings": [str(n) for n in self.holdings],
@@ -97,6 +101,8 @@ class CompanyInvestigation:
     def render(self, *, max_rows: int = 12) -> str:
         """A Fig. 19-style textual briefing."""
         lines = [f"== Affiliated transaction analysis: {self.company} =="]
+        if self.detector:
+            lines.append(f"detector: {self.detector} v{self.detector_version}")
         lines.append(
             "directors / influencers: " + (", ".join(map(str, self.influencers)) or "-")
         )
@@ -204,4 +210,6 @@ def investigate_company(
         groups=groups,
         suspicious_sales=sales,
         suspicious_purchases=purchases,
+        detector=result.detector,
+        detector_version=result.detector_version,
     )

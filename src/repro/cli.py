@@ -23,6 +23,7 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import json
 import logging
 import sys
 from pathlib import Path
@@ -33,13 +34,16 @@ from repro.analysis.investigate import investigate_company
 from repro.analysis.table1 import run_table1
 from repro.datagen.config import PAPER_TRADING_PROBABILITIES, ProvinceConfig
 from repro.datagen.province import generate_province
+from repro.detectors.registry import ALL_DETECTORS
+from repro.detectors.runner import run_detectors
+from repro.fusion.tpiin import TPIIN
 from repro.io.edge_list_io import read_tpiin_csv, write_tpiin_csv
 from repro.io.registry_io import load_registry_csvs
 from repro.io.results_io import write_detection_json
 from repro.ite.pipeline import run_two_phase
 from repro.ite.transactions import SimulationConfig, simulate_transactions
-from repro.mining.detector import detect
-from repro.mining.options import Engine
+from repro.mining.detector import IAT_DETECTOR_NAME, detect
+from repro.mining.options import DetectOptions, Engine
 from repro.obs.profile import render_profile
 from repro.service.config import ServiceConfig
 from repro.service.server import DetectionHTTPServer, serve
@@ -81,6 +85,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile",
         action="store_true",
         help="trace the run and print the stage tree plus slowest subTPIINs",
+    )
+    mine.add_argument(
+        "--detector",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help=(
+            "portfolio detector to run over the TPIIN (repeatable; "
+            '"all" runs every registered detector); '
+            "default: the paper's IAT mining only"
+        ),
     )
 
     table = sub.add_parser("table1", help="run the Table-1 sweep")
@@ -181,6 +196,8 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 def _cmd_mine(args: argparse.Namespace) -> int:
     tpiin = read_tpiin_csv(args.arcs, args.nodes)
     tpiin.validate()
+    if args.detector:
+        return _mine_portfolio(tpiin, args)
     result = detect(
         tpiin, engine=args.engine, processes=args.processes, trace=args.profile
     )
@@ -191,6 +208,32 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     paths = result.write_files(args.out_dir)
     json_path = write_detection_json(result, args.out_dir / "detection.json")
     print(f"wrote {len(paths)} sus files and {json_path}")
+    return 0
+
+
+def _mine_portfolio(tpiin: TPIIN, args: argparse.Namespace) -> int:
+    """``mine --detector``: run the selected portfolio over one freeze."""
+    selection: "str | list[str]" = (
+        ALL_DETECTORS if ALL_DETECTORS in args.detector else list(args.detector)
+    )
+    options = DetectOptions(engine=args.engine, processes=args.processes)
+    report = run_detectors(tpiin, selection, options=options, trace=args.profile)
+    print(report.summary())
+    if args.profile and report.trace is not None:
+        print()
+        print(render_profile(report.trace))
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+    findings_path = args.out_dir / "findings.json"
+    findings_path.write_text(json.dumps(report.to_dict(), indent=2))
+    written = [findings_path]
+    iat_run = report.runs.get(IAT_DETECTOR_NAME)
+    if iat_run is not None and iat_run.detection is not None:
+        # The reference detector keeps the legacy artifacts intact.
+        written.extend(iat_run.detection.write_files(args.out_dir))
+        written.append(
+            write_detection_json(iat_run.detection, args.out_dir / "detection.json")
+        )
+    print(f"wrote {len(written)} files under {args.out_dir}")
     return 0
 
 

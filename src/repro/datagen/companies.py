@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+import zlib
+
 import numpy as np
 
 from repro.model.entities import Company
 
-__all__ = ["make_company", "INDUSTRIES", "REGIONS"]
+__all__ = ["make_company", "INDUSTRIES", "REGIONS", "derive_registered_capital"]
 
 #: Industry labels drive the ITE-phase comparables: the arm's-length
 #: tests compare a transaction against its industry's margin profile.
@@ -30,6 +32,18 @@ REGIONS = ("domestic", "hongkong", "usa", "europe", "singapore")
 _REGION_WEIGHTS = (0.90, 0.04, 0.03, 0.02, 0.01)
 
 
+def derive_registered_capital(company_id: str, scale: str = "small") -> float:
+    """Deterministic declared capital for a synthetic company.
+
+    Derived from a hash of the id rather than the generator's ``rng``
+    stream so that adding capital to existing datasets does not shift
+    any seed-stable draw that follows (region, roles, trading arcs).
+    """
+    base = 5000.0 if scale == "large" else 800.0
+    spread = zlib.crc32(company_id.encode("utf-8")) % 1000 / 1000.0
+    return round(base * (0.5 + 1.5 * spread), 2)
+
+
 def make_company(
     company_id: str,
     rng: np.random.Generator,
@@ -47,4 +61,5 @@ def make_company(
         industry=industry,
         region=region,
         scale=scale,
+        registered_capital=derive_registered_capital(company_id, scale),
     )

@@ -20,6 +20,7 @@ from repro.fusion.tpiin import TPIIN
 from repro.graph.digraph import Node
 from repro.mining.detector import DetectionResult
 from repro.model.colors import InfluenceKind, InterdependenceKind
+from repro.model.entities import Company, EntityRegistry
 from repro.model.homogeneous import (
     InfluenceGraph,
     InterdependenceGraph,
@@ -27,7 +28,18 @@ from repro.model.homogeneous import (
     TradingGraph,
 )
 
-__all__ = ["PlantedRing", "RING_SHAPES", "plant_evasion_rings", "recovered_rings"]
+__all__ = [
+    "PlantedHousehold",
+    "PlantedRing",
+    "PlantedTraderChain",
+    "PlantedTradingCycle",
+    "RING_SHAPES",
+    "plant_circular_rings",
+    "plant_evasion_rings",
+    "plant_missing_trader_chains",
+    "plant_shared_households",
+    "recovered_rings",
+]
 
 #: The group shapes of Fig. 3, by total node count of the simple group.
 RING_SHAPES = (
@@ -216,3 +228,180 @@ def recovered_rings(
             group.is_simple and group.members == expected for group in groups
         )
     return recovery
+
+
+# ---------------------------------------------------------------------------
+# Planted cases for the repro.detectors portfolio (ground truth for the
+# precision/recall acceptance tests of docs/DETECTORS.md).
+
+
+@dataclass(frozen=True, slots=True)
+class PlantedTradingCycle:
+    """One injected circular-trading ring (a closed trading cycle)."""
+
+    cycle_id: str
+    companies: tuple[str, ...]
+
+    def expected_members(self, tpiin: TPIIN) -> frozenset[Node]:
+        return frozenset(tpiin.node_map.get(c, c) for c in self.companies)
+
+
+def plant_circular_rings(
+    interdependence: InterdependenceGraph,
+    influence: InfluenceGraph,
+    investment: InvestmentGraph,
+    trading: TradingGraph,
+    *,
+    count: int,
+    size: int = 4,
+    id_prefix: str = "CYC",
+) -> list[PlantedTradingCycle]:
+    """Inject ``count`` closed trading cycles of ``size`` companies each.
+
+    Every planted company carries its own unrelated legal person, so the
+    rings are invisible to the IAT miner (no shared antecedent) and are
+    recoverable only by the ``circular-trading`` detector.
+    """
+    if count < 0:
+        raise DataGenError("count must be non-negative")
+    if size < 2:
+        raise DataGenError(f"cycle size must be >= 2, got {size}")
+    cycles: list[PlantedTradingCycle] = []
+    for index in range(count):
+        tag = f"{id_prefix}{index:03d}"
+        companies = tuple(f"{tag}_C{i}" for i in range(size))
+        for i, company in enumerate(companies):
+            _lp(influence, f"{tag}_L{i}", company)
+        for i, seller in enumerate(companies):
+            trading.add_trade(seller, companies[(i + 1) % size])
+        cycles.append(PlantedTradingCycle(tag, companies))
+    return cycles
+
+
+@dataclass(frozen=True, slots=True)
+class PlantedTraderChain:
+    """One injected missing-trader hub with its counterparties."""
+
+    chain_id: str
+    hub: str
+    suppliers: tuple[str, ...]
+    buyers: tuple[str, ...]
+
+    def expected_members(self, tpiin: TPIIN) -> frozenset[Node]:
+        nodes = (self.hub, *self.suppliers, *self.buyers)
+        return frozenset(tpiin.node_map.get(c, c) for c in nodes)
+
+
+def plant_missing_trader_chains(
+    interdependence: InterdependenceGraph,
+    influence: InfluenceGraph,
+    investment: InvestmentGraph,
+    trading: TradingGraph,
+    *,
+    count: int,
+    fan_in: int = 4,
+    fan_out: int = 3,
+    registry: EntityRegistry | None = None,
+    hub_capital: float = 100.0,
+    counterparty_capital: float = 50_000.0,
+    id_prefix: str = "MT",
+) -> list[PlantedTraderChain]:
+    """Inject ``count`` missing-trader conduits (suppliers -> hub -> buyers).
+
+    The hub is a thin shell: when a ``registry`` is supplied it is
+    registered with ``hub_capital`` declared capital while its
+    well-capitalized counterparties get ``counterparty_capital``, giving
+    the ``missing-trader`` detector its capacity-mismatch signal.
+    """
+    if count < 0:
+        raise DataGenError("count must be non-negative")
+    if fan_in < 1 or fan_out < 1:
+        raise DataGenError("fan_in and fan_out must be >= 1")
+    chains: list[PlantedTraderChain] = []
+    for index in range(count):
+        tag = f"{id_prefix}{index:03d}"
+        hub = f"{tag}_HUB"
+        suppliers = tuple(f"{tag}_S{i}" for i in range(fan_in))
+        buyers = tuple(f"{tag}_B{i}" for i in range(fan_out))
+        _lp(influence, f"{tag}_LH", hub)
+        for i, supplier in enumerate(suppliers):
+            _lp(influence, f"{tag}_LS{i}", supplier)
+            trading.add_trade(supplier, hub)
+        for i, buyer in enumerate(buyers):
+            _lp(influence, f"{tag}_LB{i}", buyer)
+            trading.add_trade(hub, buyer)
+        if registry is not None:
+            registry.add_company(
+                Company(
+                    company_id=hub,
+                    name=f"{hub} Trading Co.",
+                    industry="wholesale",
+                    registered_capital=hub_capital,
+                )
+            )
+            for counterparty in (*suppliers, *buyers):
+                registry.add_company(
+                    Company(
+                        company_id=counterparty,
+                        name=f"{counterparty} Co.",
+                        industry="wholesale",
+                        registered_capital=counterparty_capital,
+                    )
+                )
+        chains.append(PlantedTraderChain(tag, hub, suppliers, buyers))
+    return chains
+
+
+@dataclass(frozen=True, slots=True)
+class PlantedHousehold:
+    """One injected kinship syndicate controlling a trading cluster."""
+
+    household_id: str
+    persons: tuple[str, ...]
+    companies: tuple[str, ...]
+
+    def expected_members(self, tpiin: TPIIN) -> frozenset[Node]:
+        mapped = {tpiin.node_map.get(p, p) for p in self.persons}
+        return frozenset(mapped) | {
+            tpiin.node_map.get(c, c) for c in self.companies
+        }
+
+
+def plant_shared_households(
+    interdependence: InterdependenceGraph,
+    influence: InfluenceGraph,
+    investment: InvestmentGraph,
+    trading: TradingGraph,
+    *,
+    count: int,
+    persons: int = 3,
+    companies: int = 4,
+    id_prefix: str = "HH",
+) -> list[PlantedHousehold]:
+    """Inject ``count`` family syndicates running self-trading clusters.
+
+    Each household is a kinship chain of ``persons`` members holding the
+    legal-person seats of ``companies`` companies (round-robin) that
+    trade in a closed internal ring — after fusion the chain contracts
+    into one syndicate antecedent the ``shared-household`` detector
+    reads back out of the registry.
+    """
+    if count < 0:
+        raise DataGenError("count must be non-negative")
+    if persons < 2:
+        raise DataGenError(f"a household needs >= 2 persons, got {persons}")
+    if companies < 2:
+        raise DataGenError(f"a household needs >= 2 companies, got {companies}")
+    households: list[PlantedHousehold] = []
+    for index in range(count):
+        tag = f"{id_prefix}{index:03d}"
+        member_ids = tuple(f"{tag}_P{i}" for i in range(persons))
+        company_ids = tuple(f"{tag}_C{i}" for i in range(companies))
+        for left, right in zip(member_ids, member_ids[1:]):
+            interdependence.add_link(left, right, InterdependenceKind.KINSHIP)
+        for i, company in enumerate(company_ids):
+            _lp(influence, member_ids[i % persons], company)
+        for i, seller in enumerate(company_ids):
+            trading.add_trade(seller, company_ids[(i + 1) % companies])
+        households.append(PlantedHousehold(tag, member_ids, company_ids))
+    return households

@@ -1,0 +1,61 @@
+"""Detector plugin framework: fraud-scenario detectors over one TPIIN.
+
+The subsystem generalizes the paper's single IAT group miner into a
+portfolio: any object satisfying the :class:`Detector` protocol can be
+registered (by entry-point-style ``"module:attr"`` spec or class) and
+executed by :func:`run_detectors` over one shared frozen graph, merged
+into a per-detector-keyed :class:`FindingsReport`.  Four detectors ship
+built in: the reference ``iat-groups`` port of :func:`repro.mining.detect`
+plus ``circular-trading``, ``missing-trader`` and ``shared-household``.
+"""
+
+from repro.detectors.base import (
+    DetectionContext,
+    Detector,
+    DetectorInfo,
+    DetectorOutcome,
+    DetectorRun,
+    Finding,
+    FindingsReport,
+    FrozenTradingView,
+    config_schema,
+)
+from repro.detectors.circular import CircularTradingConfig, CircularTradingDetector
+from repro.detectors.evaluation import AccuracyReport, accuracy
+from repro.detectors.household import SharedHouseholdConfig, SharedHouseholdDetector
+from repro.detectors.iat import IATConfig, IATGroupDetector
+from repro.detectors.missing_trader import MissingTraderConfig, MissingTraderDetector
+from repro.detectors.registry import (
+    ALL_DETECTORS,
+    DetectorRegistry,
+    get_detector_registry,
+    set_detector_registry,
+)
+from repro.detectors.runner import run_detectors
+
+__all__ = [
+    "ALL_DETECTORS",
+    "AccuracyReport",
+    "CircularTradingConfig",
+    "CircularTradingDetector",
+    "DetectionContext",
+    "Detector",
+    "DetectorInfo",
+    "DetectorOutcome",
+    "DetectorRegistry",
+    "DetectorRun",
+    "Finding",
+    "FindingsReport",
+    "FrozenTradingView",
+    "IATConfig",
+    "IATGroupDetector",
+    "MissingTraderConfig",
+    "MissingTraderDetector",
+    "SharedHouseholdConfig",
+    "SharedHouseholdDetector",
+    "accuracy",
+    "config_schema",
+    "get_detector_registry",
+    "run_detectors",
+    "set_detector_registry",
+]

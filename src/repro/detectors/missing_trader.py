@@ -1,0 +1,166 @@
+"""Missing-trader detector: under-capitalized high-throughput hubs.
+
+In missing-trader (MTIC/carousel) VAT fraud a thinly-capitalized shell
+buys from many suppliers, sells on to many buyers, collects the tax and
+vanishes (Alexopoulos et al., *A network and machine learning approach
+to detect VAT fraud*).  On a TPIIN the signature is structural plus
+fiscal:
+
+* **throughput** — trading fan-in and fan-out both high (a conduit,
+  not an endpoint);
+* **capacity mismatch** — the declared registered capital supports far
+  fewer counterparties than the company actually services (input flow
+  vastly exceeds the declared-capital-weighted capacity);
+* **ITE deviation** (optional) — when a transaction book is attached,
+  the hub's realized sales markups fall short of its industry's
+  arm's-length standard (:mod:`repro.ite`), the under-invoicing that
+  funds the carousel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.detectors.base import DetectionContext, DetectorOutcome, Finding
+from repro.errors import MiningError
+from repro.graph.digraph import Node
+from repro.ite.transactions import DEFAULT_PROFILES, TransactionBook
+
+__all__ = ["MissingTraderConfig", "MissingTraderDetector"]
+
+
+@dataclass(frozen=True, slots=True)
+class MissingTraderConfig:
+    """Knobs of the missing-trader scan.
+
+    A company is a candidate hub when ``fan_in >= min_fan_in`` and
+    ``fan_out >= min_fan_out``.  Its *capacity* is
+    ``registered_capital / capital_per_counterparty`` — the number of
+    trading partners the declared capital plausibly services — and the
+    hub is flagged when ``(fan_in + fan_out) / capacity`` reaches
+    ``min_load_ratio``.  Companies without declared capital are
+    assessed at ``default_capital``.  With ``transactions`` attached,
+    the hub must additionally show a mean sales-markup shortfall of at
+    least ``min_markup_shortfall`` against its industry profile.
+    """
+
+    min_fan_in: int = 3
+    min_fan_out: int = 2
+    capital_per_counterparty: float = 200.0
+    min_load_ratio: float = 2.0
+    default_capital: float = 1000.0
+    transactions: TransactionBook | None = None
+    min_markup_shortfall: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.min_fan_in < 1 or self.min_fan_out < 1:
+            raise MiningError("min_fan_in and min_fan_out must be >= 1")
+        if self.capital_per_counterparty <= 0:
+            raise MiningError(
+                f"capital_per_counterparty must be positive, "
+                f"got {self.capital_per_counterparty}"
+            )
+        if self.min_load_ratio <= 0:
+            raise MiningError(
+                f"min_load_ratio must be positive, got {self.min_load_ratio}"
+            )
+
+
+class MissingTraderDetector:
+    """Fan-in/fan-out hubs whose declared capital cannot carry the flow."""
+
+    name = "missing-trader"
+    version = "1.0.0"
+    summary = (
+        "High fan-in/fan-out trading conduits whose throughput vastly "
+        "exceeds their declared-capital capacity (VAT missing-trader "
+        "signature), optionally confirmed by ITE markup deviation."
+    )
+    config_type = MissingTraderConfig
+
+    def __init__(self, config: MissingTraderConfig | None = None) -> None:
+        self.config = config if config is not None else MissingTraderConfig()
+
+    def run(self, context: DetectionContext) -> DetectorOutcome:
+        config = self.config
+        trading = context.trading
+        sales_index = (
+            config.transactions.by_seller() if config.transactions is not None else None
+        )
+        findings: list[Finding] = []
+        hubs_gated = 0
+        for company in trading.companies:
+            sellers = trading.sellers_to(company)
+            buyers = trading.buyers_of(company)
+            if len(sellers) < config.min_fan_in or len(buyers) < config.min_fan_out:
+                continue
+            hubs_gated += 1
+            capital = context.registered_capital(company, config.default_capital)
+            capacity = max(capital, 0.0) / config.capital_per_counterparty
+            load = len(sellers) + len(buyers)
+            ratio = load / capacity if capacity > 0 else float("inf")
+            if ratio < config.min_load_ratio:
+                continue
+            shortfall = self._markup_shortfall(context, company, sales_index)
+            if shortfall is not None and shortfall < config.min_markup_shortfall:
+                continue
+            details: list[tuple[str, float | int]] = [
+                ("fan_in", len(sellers)),
+                ("fan_out", len(buyers)),
+                ("registered_capital", round(capital, 2)),
+                ("load_ratio", round(min(ratio, 1e9), 4)),
+            ]
+            if shortfall is not None:
+                details.append(("markup_shortfall", round(shortfall, 4)))
+            arcs = tuple(
+                [(seller, company) for seller in sellers]
+                + [(company, buyer) for buyer in buyers]
+            )
+            findings.append(
+                Finding(
+                    detector=self.name,
+                    kind="missing-trader-hub",
+                    members=(company, *sellers, *buyers),
+                    arcs=arcs,
+                    score=ratio / (1.0 + ratio) if ratio != float("inf") else 1.0,
+                    summary=(
+                        f"{company} routes {len(sellers)} suppliers into "
+                        f"{len(buyers)} buyers on {capital:.0f} declared "
+                        f"capital (load ratio {min(ratio, 1e9):.1f})"
+                    ),
+                    details=tuple(details),
+                )
+            )
+        findings.sort(key=lambda f: (-f.score, f.members))
+        return DetectorOutcome(
+            findings=findings,
+            attributes={
+                "candidate_hubs": hubs_gated,
+                "hubs_flagged": len(findings),
+                "ite_checked": sales_index is not None,
+            },
+        )
+
+    @staticmethod
+    def _markup_shortfall(
+        context: DetectionContext,
+        company: Node,
+        sales_index: "dict[str, list] | None",
+    ) -> float | None:
+        """Mean sales-markup shortfall vs the industry standard.
+
+        ``None`` when no transaction book is attached or the hub has no
+        recorded sales (the fiscal test then abstains rather than veto).
+        """
+        if sales_index is None:
+            return None
+        sales = sales_index.get(str(company), [])
+        if not sales:
+            return None
+        profile = DEFAULT_PROFILES.get(
+            context.industry_of(company), DEFAULT_PROFILES["general"]
+        )
+        total = 0.0
+        for tx in sales:
+            total += max(0.0, profile.standard_markup - tx.markup)
+        return total / len(sales)

@@ -1,0 +1,147 @@
+"""The detector portfolio driver: one freeze, many detectors.
+
+:func:`run_detectors` resolves a selection against the process-wide
+registry, builds **one** shared :class:`~repro.detectors.base.DetectionContext`
+(so every detector reads the same frozen trading view — expensive
+supporting indexes are computed once, not per detector), executes each
+detector under its own trace span, meters every run through
+:mod:`repro.obs`, and merges the outcomes into a per-detector-keyed
+:class:`~repro.detectors.base.FindingsReport`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Mapping
+
+from repro.detectors.base import (
+    DetectionContext,
+    Detector,
+    DetectorRun,
+    FindingsReport,
+)
+from repro.detectors.iat import IATConfig, IATGroupDetector
+from repro.detectors.registry import DetectorRegistry, get_detector_registry
+from repro.errors import MiningError
+from repro.fusion.tpiin import TPIIN
+from repro.mining.options import DetectOptions, TraceSpec
+from repro.obs.registry import get_registry
+from repro.obs.tracing import NULL_TRACER, Tracer, TracerLike
+
+__all__ = ["run_detectors"]
+
+_RUN_BUCKETS_MS = (1.0, 5.0, 25.0, 100.0, 250.0, 1000.0, 5000.0, 30000.0)
+
+
+def run_detectors(
+    tpiin: TPIIN,
+    detectors: "str | Iterable[str]" = "all",
+    *,
+    configs: Mapping[str, Mapping[str, object]] | None = None,
+    registry: DetectorRegistry | None = None,
+    options: DetectOptions | None = None,
+    trace: TraceSpec = False,
+) -> FindingsReport:
+    """Run a selection of registered detectors over one shared graph.
+
+    Parameters
+    ----------
+    tpiin:
+        The fused graph every detector reads (never mutated).
+    detectors:
+        A registry name, an iterable of names, or ``"all"``.
+    configs:
+        Optional per-detector constructor overrides, keyed by detector
+        name: ``{"circular-trading": {"min_balance": 0.8}}``.
+    registry:
+        Detector registry to resolve against (the process-wide one by
+        default).
+    options:
+        When given, the IAT reference detector is configured from these
+        engine options (unless ``configs`` overrides it explicitly).
+    trace:
+        ``True`` collects a span tree onto ``FindingsReport.trace``;
+        a caller-owned tracer nests the run under its spans.
+    """
+    registry = registry if registry is not None else get_detector_registry()
+    names = registry.resolve(detectors)
+    configs = configs or {}
+    for name in configs:
+        if name not in names:
+            raise MiningError(
+                f"config supplied for unselected detector {name!r} "
+                f"(selected: {', '.join(names)})"
+            )
+    tracer = _resolve_tracer(trace)
+    metrics = get_registry()
+    runs: dict[str, DetectorRun] = {}
+    with tracer.span("run_detectors") as root:
+        context = DetectionContext(tpiin=tpiin, tracer=tracer)
+        for name in names:
+            detector = _instantiate(registry, name, configs.get(name), options)
+            started = time.perf_counter()
+            with tracer.span(f"detector:{name}") as span:
+                outcome = detector.run(context)
+                if tracer.enabled:
+                    span.set(findings=len(outcome.findings), version=detector.version)
+            elapsed = time.perf_counter() - started
+            metrics.counter(
+                "repro_detector_runs_total",
+                help="Completed detector runs, by detector.",
+                detector=name,
+            ).inc()
+            metrics.counter(
+                "repro_detector_findings_total",
+                help="Findings emitted by detector runs.",
+                detector=name,
+            ).inc(len(outcome.findings))
+            metrics.histogram(
+                "repro_detector_duration_ms",
+                buckets=_RUN_BUCKETS_MS,
+                help="Per-detector wall time in milliseconds.",
+                detector=name,
+            ).observe(elapsed * 1e3)
+            runs[name] = DetectorRun(
+                name=name,
+                version=detector.version,
+                findings=tuple(outcome.findings),
+                elapsed_seconds=elapsed,
+                attributes=dict(outcome.attributes),
+                detection=outcome.detection,
+            )
+        if tracer.enabled:
+            root.set(
+                detectors=len(runs),
+                findings=sum(len(run.findings) for run in runs.values()),
+            )
+        trace_record = root.record
+    return FindingsReport(runs=runs, trace=trace_record)
+
+
+def _resolve_tracer(trace: TraceSpec) -> TracerLike:
+    if trace is True:
+        return Tracer()
+    if trace is False or trace is None:
+        return NULL_TRACER
+    return trace
+
+
+def _instantiate(
+    registry: DetectorRegistry,
+    name: str,
+    overrides: Mapping[str, object] | None,
+    options: DetectOptions | None,
+) -> Detector:
+    """Build the detector instance a portfolio run uses for ``name``.
+
+    Explicit ``configs`` overrides win; otherwise the IAT reference
+    detector inherits the caller's engine options so that
+    ``detect(..., detectors=...)`` and the CLI keep one source of truth
+    for engine selection.
+    """
+    if overrides is not None:
+        cls = registry.load(name)
+        return cls(cls.config_type(**overrides))
+    if options is not None and name == IATGroupDetector.name:
+        return IATGroupDetector(IATConfig.from_options(options))
+    return registry.create(name)

@@ -29,6 +29,7 @@ _DEFAULT_LAYERS: tuple[tuple[str, ...], ...] = (
     ("mining",),
     ("baseline", "datagen", "weights"),
     ("io", "ite"),
+    ("detectors",),
     ("analysis",),
     ("service",),
     ("repro", "cli", "__main__", "devtools"),

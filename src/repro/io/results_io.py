@@ -97,6 +97,8 @@ def detection_to_dict(result: "DetectionResult") -> dict[str, Any]:
     cannot drift.
     """
     return {
+        "detector": result.detector,
+        "detector_version": result.detector_version,
         "engine": result.engine,
         "truncated": result.truncated,
         "subtpiin_count": result.subtpiin_count,

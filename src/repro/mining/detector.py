@@ -40,7 +40,21 @@ from repro.obs.profile import SUBTPIIN_SPAN
 from repro.obs.registry import get_registry
 from repro.obs.tracing import SpanRecord, TracerLike
 
-__all__ = ["DetectionResult", "SubTPIINResult", "detect"]
+__all__ = [
+    "DetectionResult",
+    "IAT_DETECTOR_NAME",
+    "IAT_DETECTOR_VERSION",
+    "SubTPIINResult",
+    "detect",
+]
+
+#: Canonical identity of the paper's IAT group miner in the detector
+#: registry (:mod:`repro.detectors`).  Declared here — not in the
+#: detectors package — because every engine-produced
+#: :class:`DetectionResult` carries it, and the mining layer sits below
+#: the plugin framework in the declared architecture.
+IAT_DETECTOR_NAME = "iat-groups"
+IAT_DETECTOR_VERSION = "1.0.0"
 
 #: Bucket bounds (milliseconds) for the detect() wall-time histogram;
 #: densest-720 runs land mid-range, toy fixtures in the first bucket.
@@ -92,6 +106,15 @@ class DetectionResult:
     # Root span of the traced run (None unless detect(..., trace=...)
     # collected one); excluded from equality-style comparisons by tests.
     trace: SpanRecord | None = None
+    # Which detector produced this result.  Every engine of this module
+    # implements the paper's IAT miner, so the defaults apply; the
+    # plugin framework (repro.detectors) stamps ports of other miners.
+    detector: str = IAT_DETECTOR_NAME
+    detector_version: str = IAT_DETECTOR_VERSION
+    # FindingsReport of the extra portfolio detectors requested via
+    # DetectOptions.detectors.  Typed as object because the mining
+    # layer sits below repro.detectors; narrow at the call site.
+    findings: object | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -154,6 +177,7 @@ class DetectionResult:
     def summary(self) -> str:
         kinds = self.kind_counts()
         text = (
+            f"detector={self.detector} v{self.detector_version} "
             f"engine={self.engine} subTPIINs={self.subtpiin_count} "
             f"groups={self.group_count} "
             f"(complex={self.complex_group_count}, simple={self.simple_group_count}; "
@@ -223,6 +247,7 @@ def detect(
     collect_groups: bool | None = None,
     trace: TraceSpec | None = None,
     min_pool_work: int | None = None,
+    detectors: "str | Sequence[str] | None" = None,
 ) -> DetectionResult:
     """Detect all suspicious tax evasion groups in ``tpiin``.
 
@@ -268,6 +293,13 @@ def detect(
         a caller-owned :class:`~repro.obs.Tracer` nests the run under
         the caller's open span instead.  Group sets are identical
         either way (property-tested).
+    detectors:
+        Extra portfolio detectors (names registered in
+        :mod:`repro.detectors`, or ``"all"``) to run over the same
+        TPIIN after the IAT mining; their merged
+        :class:`~repro.detectors.base.FindingsReport` is attached as
+        ``DetectionResult.findings``.  The IAT detector itself is never
+        re-run — this result *is* its output.
     """
     opts = (options if options is not None else DetectOptions()).with_overrides(
         engine=engine,
@@ -277,6 +309,7 @@ def detect(
         collect_groups=collect_groups,
         trace=trace,
         min_pool_work=min_pool_work,
+        detectors=detectors,
     )
     tracer = opts.resolve_tracer()
     started = time.perf_counter()
@@ -289,7 +322,30 @@ def detect(
     else:
         result = _run_engine(tpiin, opts, tracer)
     _count_run(opts.engine, result, time.perf_counter() - started)
+    if opts.detectors:
+        result.findings = _run_extra_detectors(tpiin, opts)
     return result
+
+
+def _run_extra_detectors(tpiin: TPIIN, opts: DetectOptions) -> object | None:
+    """Run the non-IAT detectors named by ``opts.detectors``.
+
+    The plugin framework sits above the mining layer, so the imports
+    must stay function-local; the IAT detector is excluded because the
+    caller's result already is its output.
+    """
+    from repro.detectors.registry import get_detector_registry  # reprolint: disable=R010
+    from repro.detectors.runner import run_detectors  # reprolint: disable=R010
+
+    registry = get_detector_registry()
+    extras = [
+        name
+        for name in registry.resolve(opts.detectors or ())
+        if name != IAT_DETECTOR_NAME
+    ]
+    if not extras:
+        return None
+    return run_detectors(tpiin, extras, registry=registry, trace=opts.trace)
 
 
 def _run_engine(tpiin: TPIIN, opts: DetectOptions, tracer: TracerLike) -> DetectionResult:

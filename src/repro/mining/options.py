@@ -81,9 +81,17 @@ class DetectOptions:
     # mines in-process on the same compact kernels.  None = the
     # engine's built-in default.
     min_pool_work: int | None = None
+    # Extra portfolio detectors (repro.detectors registry names, or
+    # "all") to run alongside the IAT mining; their merged findings
+    # report is attached to DetectionResult.findings.  None = IAT only.
+    detectors: tuple[str, ...] | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "engine", Engine.coerce(self.engine))
+        if isinstance(self.detectors, str):
+            object.__setattr__(self, "detectors", (self.detectors,))
+        elif self.detectors is not None:
+            object.__setattr__(self, "detectors", tuple(self.detectors))
         if self.max_trails_per_subtpiin is not None and self.max_trails_per_subtpiin < 1:
             raise MiningError(
                 f"max_trails_per_subtpiin must be >= 1, got {self.max_trails_per_subtpiin}"

@@ -57,6 +57,10 @@ class Company:
     industry: str = "general"
     region: str = "domestic"
     scale: str = "small"  # "small" | "large": drives the role model in datagen
+    # Declared registered capital (currency units); None when the source
+    # registry did not report it.  The missing-trader detector weighs
+    # trading throughput against it.
+    registered_capital: float | None = None
 
     @property
     def is_cross_border(self) -> bool:

@@ -53,8 +53,18 @@ class ServiceClient:
             "GET", f"/v1/arcs/{quote(seller, safe='')}/{quote(buyer, safe='')}"
         )
 
-    def result(self) -> dict[str, Any]:
-        return self._request("GET", "/v1/result")
+    def result(self, *, detector: str | None = None) -> dict[str, Any]:
+        """The detection result; a ``detector`` name selects one portfolio
+        detector's findings payload instead of the legacy IAT dump."""
+        if detector is None:
+            return self._request("GET", "/v1/result")
+        return self._request(
+            "GET", f"/v1/result?detector={quote(detector, safe='')}"
+        )
+
+    def detectors(self) -> dict[str, Any]:
+        """The registered detector listing (name, version, config schema)."""
+        return self._request("GET", "/v1/detectors")
 
     def investigate(self, company: str) -> dict[str, Any]:
         return self._request("GET", f"/v1/investigate/{quote(company, safe='')}")

@@ -9,6 +9,8 @@ Permanent Redirect`` to their ``/v1`` twin so old clients keep working
 ``POST /v1/arcs``                          apply ``{"op", "seller", "buyer"}``
 ``GET  /v1/arcs/{seller}/{buyer}``         status of one trading arc
 ``GET  /v1/result``                        full detection result (JSON)
+``GET  /v1/result?detector={name}``        one portfolio detector's findings
+``GET  /v1/detectors``                     registered detector listing
 ``GET  /v1/investigate/{company}``         drill-down briefing for a company
 ``GET  /v1/healthz``                       liveness + recovery summary
 ``GET  /v1/metrics``                       counters, latency histograms, caches
@@ -166,7 +168,26 @@ class _DetectionRequestHandler(BaseHTTPRequestHandler):
                     None,
                 )
             return "metrics", 200, dict(self.service.metrics_payload()), None, None
+        if parts == ["detectors"]:
+            return (
+                "detectors",
+                200,
+                dict(self.service.detectors_payload()),
+                None,
+                None,
+            )
         if parts == ["result"]:
+            names = parse_qs(query).get("detector", [])
+            if names:
+                # Portfolio detector requested: answer with its findings
+                # payload instead of the legacy IAT group dump.
+                return (
+                    "result",
+                    200,
+                    dict(self.service.detector_findings(names[0])),
+                    None,
+                    None,
+                )
             return "result", 200, detection_to_dict(self.service.result()), None, None
         if len(parts) == 3 and parts[0] == "arcs":
             status_view = self.service.arc_status(parts[1], parts[2])

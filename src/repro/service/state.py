@@ -27,11 +27,14 @@ from collections import deque
 from collections.abc import Sequence
 
 from repro.analysis.investigate import CompanyInvestigation, investigate_company
+from repro.detectors.registry import get_detector_registry
+from repro.detectors.runner import run_detectors
 from repro.errors import MiningError, ServiceError
 from repro.fusion.tpiin import TPIIN
 from repro.mining.detector import DetectionResult
 from repro.mining.groups import SuspiciousGroup
 from repro.mining.incremental import ArcUpdate, IncrementalDetector
+from repro.model.colors import EColor
 from repro.obs.tracing import NULL_TRACER, Tracer, TracerLike
 from repro.service.config import ServiceConfig
 from repro.service.locks import ReadWriteLock
@@ -316,6 +319,39 @@ class DetectionService:
     def investigate(self, company: str) -> CompanyInvestigation:
         with self._lock.read():
             return investigate_company(self._tpiin, self._detector.result(), company)
+
+    def detectors_payload(self) -> dict[str, object]:
+        """The ``GET /v1/detectors`` listing (name, version, config schema)."""
+        registry = get_detector_registry()
+        return {
+            "detectors": [registry.info(name).to_dict() for name in registry.names()]
+        }
+
+    def detector_findings(self, detector: str) -> dict[str, object]:
+        """Run one registered portfolio detector over the live arc set.
+
+        The live arcs are read under the shared lock, then overlaid onto
+        a trading-free antecedent snapshot *outside* the critical
+        section, so an expensive detector never stalls mutations.
+        """
+        registry = get_detector_registry()
+        if detector not in registry:
+            raise MiningError(
+                f"unknown detector {detector!r} "
+                f"(choices: {', '.join(registry.names())})"
+            )
+        with self._lock.read():
+            arcs = list(self._detector.trading_arcs())
+        snapshot = self._tpiin.antecedent_view()
+        for seller, buyer in arcs:
+            mapped_seller = snapshot.node_map.get(seller, seller)
+            mapped_buyer = snapshot.node_map.get(buyer, buyer)
+            if mapped_seller == mapped_buyer:
+                snapshot.intra_scs_trades.append((seller, buyer))
+            else:
+                snapshot.graph.add_arc(mapped_seller, mapped_buyer, EColor.TRADING)
+        report = run_detectors(snapshot, [detector], registry=registry)
+        return report[detector].to_dict()
 
     def arc_count(self) -> int:
         with self._lock.read():

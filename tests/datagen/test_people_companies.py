@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.datagen.companies import INDUSTRIES, REGIONS, make_company
+from repro.datagen.companies import (
+    INDUSTRIES,
+    REGIONS,
+    derive_registered_capital,
+    make_company,
+)
 from repro.datagen.people import make_director, make_legal_person
 from repro.model.roles import Role
 
@@ -54,3 +59,32 @@ class TestCompanyFactory:
         regions = [make_company(f"C{i}", rng).region for i in range(300)]
         domestic = sum(1 for r in regions if r == "domestic")
         assert domestic > 240  # ~90% weighting
+
+
+class TestRegisteredCapital:
+    def test_derivation_is_hash_stable_and_rng_free(self):
+        # Capital comes from the company id alone: same id -> same value,
+        # and deriving it must not advance any random stream.
+        assert derive_registered_capital("C1") == derive_registered_capital("C1")
+        rng = np.random.default_rng(3)
+        before = rng.bit_generator.state
+        derive_registered_capital("C1")
+        assert rng.bit_generator.state == before
+
+    def test_scale_bands(self):
+        small = derive_registered_capital("C1", scale="small")
+        large = derive_registered_capital("C1", scale="large")
+        assert 400.0 <= small <= 2000.0
+        assert 2500.0 <= large <= 12500.0
+
+    def test_make_company_declares_capital(self):
+        rng = np.random.default_rng(1)
+        company = make_company("C1", rng)
+        assert company.registered_capital == derive_registered_capital("C1")
+
+    def test_capital_does_not_shift_sampled_streams(self):
+        # Guard for seed stability: adding capital must not change what
+        # make_company draws from the rng.
+        fields_a = make_company("C7", np.random.default_rng(9))
+        fields_b = make_company("C7", np.random.default_rng(9))
+        assert fields_a == fields_b

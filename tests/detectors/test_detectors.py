@@ -1,0 +1,214 @@
+"""Behavior of the three new portfolio detectors on hand-built TPIINs."""
+
+from repro.detectors import (
+    CircularTradingConfig,
+    CircularTradingDetector,
+    DetectionContext,
+    MissingTraderConfig,
+    MissingTraderDetector,
+    SharedHouseholdConfig,
+    SharedHouseholdDetector,
+)
+from repro.fusion.tpiin import TPIIN
+from repro.ite.transactions import Transaction, TransactionBook
+from repro.model.entities import Company, EntityRegistry, Syndicate
+
+
+class TestCircularTrading:
+    def test_simple_ring_is_perfectly_balanced(self):
+        tpiin = TPIIN.build(
+            companies=["C1", "C2", "C3", "C9"],
+            trading=[("C1", "C2"), ("C2", "C3"), ("C3", "C1"), ("C3", "C9")],
+        )
+        outcome = CircularTradingDetector().run(DetectionContext(tpiin=tpiin))
+        assert len(outcome.findings) == 1
+        finding = outcome.findings[0]
+        assert finding.kind == "circular-trading-ring"
+        assert finding.members == ("C1", "C2", "C3")
+        assert finding.score == 1.0
+        assert len(finding.arcs) == 3
+        assert outcome.attributes["sccs_examined"] == 1
+
+    def test_two_company_pingpong_needs_lower_min_cycle_size(self):
+        tpiin = TPIIN.build(
+            companies=["C1", "C2"], trading=[("C1", "C2"), ("C2", "C1")]
+        )
+        context = DetectionContext(tpiin=tpiin)
+        assert CircularTradingDetector().run(context).findings == []
+        relaxed = CircularTradingDetector(CircularTradingConfig(min_cycle_size=2))
+        assert len(relaxed.run(context).findings) == 1
+
+    def test_lopsided_scc_filtered_by_balance(self):
+        # A->B->C->A plus the chord A->C: per-member balances 0.5, 1, 0.5
+        # (mean 2/3), so the ring survives 0.6 but not 0.7.
+        tpiin = TPIIN.build(
+            companies=["A", "B", "C"],
+            trading=[("A", "B"), ("B", "C"), ("C", "A"), ("A", "C")],
+        )
+        context = DetectionContext(tpiin=tpiin)
+        default = CircularTradingDetector().run(context)
+        assert len(default.findings) == 1
+        assert abs(default.findings[0].score - 2.0 / 3.0) < 1e-9
+        strict = CircularTradingDetector(CircularTradingConfig(min_balance=0.7))
+        assert strict.run(context).findings == []
+
+
+def _hub_tpiin() -> TPIIN:
+    sellers = ["S1", "S2", "S3"]
+    buyers = ["B1", "B2"]
+    return TPIIN.build(
+        companies=["HUB", *sellers, *buyers],
+        trading=[(s, "HUB") for s in sellers] + [("HUB", b) for b in buyers],
+    )
+
+
+class TestMissingTrader:
+    def test_undercapitalized_hub_flagged(self):
+        tpiin = _hub_tpiin()
+        registry = EntityRegistry()
+        registry.add_company(Company(company_id="HUB", registered_capital=100.0))
+        tpiin.registry = registry
+        outcome = MissingTraderDetector().run(DetectionContext(tpiin=tpiin))
+        assert outcome.attributes["candidate_hubs"] == 1
+        assert len(outcome.findings) == 1
+        finding = outcome.findings[0]
+        assert finding.kind == "missing-trader-hub"
+        # load 5 on capacity 100/200 = 0.5 -> ratio 10, score 10/11
+        assert abs(finding.score - 10.0 / 11.0) < 1e-9
+        assert set(finding.members) == {"HUB", "S1", "S2", "S3", "B1", "B2"}
+        details = dict(finding.details)
+        assert details["fan_in"] == 3 and details["fan_out"] == 2
+        assert details["load_ratio"] == 10.0
+
+    def test_well_capitalized_hub_not_flagged(self):
+        tpiin = _hub_tpiin()
+        registry = EntityRegistry()
+        registry.add_company(Company(company_id="HUB", registered_capital=10_000.0))
+        tpiin.registry = registry
+        outcome = MissingTraderDetector().run(DetectionContext(tpiin=tpiin))
+        assert outcome.attributes["candidate_hubs"] == 1
+        assert outcome.findings == []
+
+    def test_default_capital_used_without_registry(self):
+        context = DetectionContext(tpiin=_hub_tpiin())
+        # default 1000 -> capacity 5, ratio 1.0 < 2.0: clean
+        assert MissingTraderDetector().run(context).findings == []
+        shoestring = MissingTraderDetector(MissingTraderConfig(default_capital=100.0))
+        assert len(shoestring.run(context).findings) == 1
+
+    def test_fan_gate(self):
+        tpiin = TPIIN.build(
+            companies=["HUB", "S1", "S2", "B1"],
+            trading=[("S1", "HUB"), ("S2", "HUB"), ("HUB", "B1")],
+        )
+        outcome = MissingTraderDetector().run(DetectionContext(tpiin=tpiin))
+        assert outcome.attributes["candidate_hubs"] == 0
+        assert outcome.findings == []
+
+    def test_ite_markup_veto_and_abstention(self):
+        def sale(tx_id: str, unit_price: float) -> Transaction:
+            return Transaction(
+                transaction_id=tx_id,
+                seller="HUB",
+                buyer="B1",
+                industry="general",
+                quantity=10.0,
+                unit_price=unit_price,
+                unit_cost=100.0,
+            )
+
+        context = DetectionContext(tpiin=_hub_tpiin())
+        config = MissingTraderConfig(default_capital=100.0)
+
+        # Sales at the arm's-length markup (general profile: 12%) veto.
+        fair = TransactionBook()
+        fair.add(sale("T1", 112.0))
+        vetoed = MissingTraderDetector(
+            MissingTraderConfig(default_capital=100.0, transactions=fair)
+        ).run(context)
+        assert vetoed.attributes["ite_checked"] is True
+        assert vetoed.findings == []
+
+        # Under-invoiced sales confirm the hub.
+        cheap = TransactionBook()
+        cheap.add(sale("T2", 100.0))
+        confirmed = MissingTraderDetector(
+            MissingTraderConfig(default_capital=100.0, transactions=cheap)
+        ).run(context)
+        assert len(confirmed.findings) == 1
+        assert dict(confirmed.findings[0].details)["markup_shortfall"] == 0.12
+
+        # A book with no sales by the hub abstains instead of vetoing.
+        empty = TransactionBook()
+        abstained = MissingTraderDetector(
+            MissingTraderConfig(default_capital=100.0, transactions=empty)
+        ).run(context)
+        assert len(abstained.findings) == 1
+        assert "markup_shortfall" not in dict(abstained.findings[0].details)
+        assert MissingTraderDetector(config).run(context).attributes[
+            "ite_checked"
+        ] is False
+
+
+def _household_tpiin(*, via: frozenset[str] = frozenset({"kinship"})) -> TPIIN:
+    syn = "syn:P1+P2"
+    tpiin = TPIIN.build(
+        persons=[syn],
+        companies=["C1", "C2", "C3", "C9"],
+        influence=[(syn, "C1"), (syn, "C2"), (syn, "C3")],
+        trading=[("C1", "C2"), ("C2", "C3"), ("C3", "C9")],
+    )
+    registry = EntityRegistry()
+    registry.add_syndicate(
+        Syndicate(
+            syndicate_id=syn,
+            members=frozenset({"P1", "P2"}),
+            kind="person",
+            via=via,
+        )
+    )
+    tpiin.registry = registry
+    return tpiin
+
+
+class TestSharedHousehold:
+    def test_kinship_syndicate_with_internal_trades_flagged(self):
+        outcome = SharedHouseholdDetector().run(
+            DetectionContext(tpiin=_household_tpiin())
+        )
+        assert outcome.attributes["households_examined"] == 1
+        assert len(outcome.findings) == 1
+        finding = outcome.findings[0]
+        assert finding.kind == "shared-household-syndicate"
+        # C9 trades with the cluster but is not influence-controlled.
+        assert finding.members == ("C1", "C2", "C3", "syn:P1+P2")
+        assert set(finding.arcs) == {("C1", "C2"), ("C2", "C3")}
+        assert finding.score == 1.0
+        details = dict(finding.details)
+        assert details["persons"] == 2 and details["companies"] == 3
+
+    def test_no_registry_abstains(self):
+        tpiin = _household_tpiin()
+        tpiin.registry = None
+        outcome = SharedHouseholdDetector().run(DetectionContext(tpiin=tpiin))
+        assert outcome.findings == []
+        assert outcome.attributes == {"no_registry": True}
+
+    def test_link_kind_filter(self):
+        tpiin = _household_tpiin(via=frozenset({"interlocking"}))
+        context = DetectionContext(tpiin=tpiin)
+        default = SharedHouseholdDetector().run(context)
+        assert default.attributes["households_examined"] == 0
+        widened = SharedHouseholdDetector(
+            SharedHouseholdConfig(link_kinds=("kinship", "interlocking"))
+        )
+        assert len(widened.run(context).findings) == 1
+
+    def test_thresholds(self):
+        context = DetectionContext(tpiin=_household_tpiin())
+        too_big = SharedHouseholdDetector(SharedHouseholdConfig(min_companies=4))
+        assert too_big.run(context).findings == []
+        too_chatty = SharedHouseholdDetector(
+            SharedHouseholdConfig(min_internal_trades=3)
+        )
+        assert too_chatty.run(context).findings == []

@@ -1,0 +1,134 @@
+"""Planted-scenario accuracy: every detector >= 0.9 precision AND recall.
+
+All three fraud scenarios are planted into ONE noisy province (plus its
+organic antecedent structure and sparse background trading), then scored
+separately: a detector must recover its own scenario without flagging
+the others or the background.  The household internal trading rings are
+genuinely circular, so they belong to the circular-trading expectation
+as well — that overlap is real, not noise.
+"""
+
+import pytest
+
+from repro.datagen.config import ProvinceConfig
+from repro.datagen.planted import (
+    plant_circular_rings,
+    plant_missing_trader_chains,
+    plant_shared_households,
+)
+from repro.datagen.province import generate_province
+from repro.detectors import accuracy, run_detectors
+from repro.errors import DataGenError
+from repro.fusion.pipeline import fuse
+from repro.model.homogeneous import (
+    InfluenceGraph,
+    InterdependenceGraph,
+    InvestmentGraph,
+    TradingGraph,
+)
+
+#: The household ring has 4 internal arcs; organic family clusters very
+#: rarely reach 3 at the background trading density used here.
+DETECTOR_CONFIGS = {"shared-household": {"min_internal_trades": 3}}
+
+
+def _planted_province(seed: int):
+    dataset = generate_province(ProvinceConfig.small(companies=120, seed=seed))
+    g1 = dataset.interdependence
+    g2 = dataset.influence
+    gi = dataset.investment
+    g4 = dataset.trading_graph(0.004)
+    cycles = plant_circular_rings(g1, g2, gi, g4, count=4, size=4)
+    chains = plant_missing_trader_chains(
+        g1, g2, gi, g4, count=3, registry=dataset.registry
+    )
+    households = plant_shared_households(g1, g2, gi, g4, count=3)
+    tpiin = fuse(g1, g2, gi, g4, registry=dataset.registry).tpiin
+    return tpiin, cycles, chains, households
+
+
+@pytest.fixture(scope="module")
+def planted():
+    tpiin, cycles, chains, households = _planted_province(29)
+    report = run_detectors(
+        tpiin,
+        ["circular-trading", "missing-trader", "shared-household"],
+        configs=DETECTOR_CONFIGS,
+    )
+    return tpiin, report, cycles, chains, households
+
+
+class TestPlantedAccuracy:
+    def test_circular_trading(self, planted):
+        tpiin, report, cycles, chains, households = planted
+        expected = [c.expected_members(tpiin) for c in cycles]
+        # The household internal rings are closed trading cycles too.
+        expected += [
+            frozenset(tpiin.node_map.get(c, c) for c in h.companies)
+            for h in households
+        ]
+        scored = accuracy(expected, report["circular-trading"].findings)
+        assert scored.precision >= 0.9, scored.summary()
+        assert scored.recall >= 0.9, scored.summary()
+
+    def test_missing_trader(self, planted):
+        tpiin, report, cycles, chains, households = planted
+        expected = [c.expected_members(tpiin) for c in chains]
+        scored = accuracy(expected, report["missing-trader"].findings)
+        assert scored.precision >= 0.9, scored.summary()
+        assert scored.recall >= 0.9, scored.summary()
+
+    def test_shared_household(self, planted):
+        tpiin, report, cycles, chains, households = planted
+        expected = [h.expected_members(tpiin) for h in households]
+        scored = accuracy(expected, report["shared-household"].findings)
+        assert scored.precision >= 0.9, scored.summary()
+        assert scored.recall >= 0.9, scored.summary()
+
+    def test_scenarios_do_not_cross_fire(self, planted):
+        tpiin, report, cycles, chains, households = planted
+        hubs = {c.hub for c in chains}
+        for finding in report["circular-trading"].findings:
+            assert not hubs & set(map(str, finding.members))
+        cycle_companies = {c for cyc in cycles for c in cyc.companies}
+        for finding in report["missing-trader"].findings:
+            assert not cycle_companies & set(map(str, finding.members))
+
+
+class TestSeedStability:
+    def test_same_seed_same_findings(self):
+        runs = []
+        for _ in range(2):
+            tpiin, _cycles, _chains, _households = _planted_province(31)
+            report = run_detectors(
+                tpiin,
+                ["circular-trading", "missing-trader", "shared-household"],
+                configs=DETECTOR_CONFIGS,
+            )
+            runs.append(
+                {
+                    name: [f.to_dict() for f in run.findings]
+                    for name, run in report.runs.items()
+                }
+            )
+        assert runs[0] == runs[1]
+
+
+class TestGeneratorValidation:
+    def test_invalid_inputs_rejected(self):
+        g1, g2, gi, g4 = (
+            InterdependenceGraph(),
+            InfluenceGraph(),
+            InvestmentGraph(),
+            TradingGraph(),
+        )
+        with pytest.raises(DataGenError):
+            plant_circular_rings(g1, g2, gi, g4, count=-1)
+        with pytest.raises(DataGenError, match="size"):
+            plant_circular_rings(g1, g2, gi, g4, count=1, size=1)
+        with pytest.raises(DataGenError):
+            plant_missing_trader_chains(g1, g2, gi, g4, count=1, fan_in=0)
+        with pytest.raises(DataGenError, match="persons"):
+            plant_shared_households(g1, g2, gi, g4, count=1, persons=1)
+        with pytest.raises(DataGenError, match="companies"):
+            plant_shared_households(g1, g2, gi, g4, count=1, companies=1)

@@ -106,6 +106,52 @@ class TestMutations:
         assert [(r.op, r.seller, r.buyer) for r in records] == [("add", "C8", "C3")]
 
 
+class TestDetectorsAPI:
+    def test_listing_names_the_portfolio(self, served_fig8):
+        client, _ = served_fig8
+        listing = client.detectors()["detectors"]
+        assert [entry["name"] for entry in listing] == [
+            "circular-trading",
+            "iat-groups",
+            "missing-trader",
+            "shared-household",
+        ]
+        circular = listing[0]
+        assert circular["version"] == "1.0.0"
+        assert "min_balance" in circular["config"]
+
+    def test_result_carries_detector_identity(self, served_fig8):
+        client, _ = served_fig8
+        result = client.result()
+        assert result["detector"] == "iat-groups"
+        assert result["detector_version"] == "1.0.0"
+
+    def test_result_for_one_detector(self, served_fig8):
+        client, _ = served_fig8
+        payload = client.result(detector="iat-groups")
+        assert payload["detector"] == "iat-groups"
+        arcs = {tuple(f["members"]) for f in payload["findings"]}
+        assert ("C3", "C5") in arcs
+        rings = client.result(detector="circular-trading")
+        assert rings["detector"] == "circular-trading"
+        assert rings["findings"] == []
+
+    def test_detector_findings_track_mutations(self, served_fig8):
+        client, _ = served_fig8
+        before = client.result(detector="iat-groups")["findings"]
+        client.remove_arc("C3", "C5")
+        after = client.result(detector="iat-groups")["findings"]
+        assert len(after) == len(before) - 1
+        client.add_arc("C3", "C5")
+
+    def test_unknown_detector_is_400(self, served_fig8):
+        client, _ = served_fig8
+        with pytest.raises(ServiceClientError) as err:
+            client.result(detector="nope")
+        assert err.value.status == 400
+        assert "choices" in str(err.value)
+
+
 class TestErrorMapping:
     def test_unknown_endpoint_is_400(self, served_fig8):
         client, _ = served_fig8

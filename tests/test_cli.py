@@ -113,6 +113,68 @@ class TestCommands:
         assert "engine=incremental" in out
         assert (tmp_path / "out-inc" / "detection.json").exists()
 
+    def test_mine_detector_portfolio(self, tmp_path, capsys, monkeypatch):
+        import json
+
+        monkeypatch.chdir(tmp_path)
+        code = main(
+            [
+                "generate",
+                "--out",
+                str(tmp_path / "net"),
+                "--companies",
+                "80",
+                "--seed",
+                "5",
+                "--probability",
+                "0.02",
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+
+        code = main(
+            [
+                "mine",
+                str(tmp_path / "net.arcs.csv"),
+                str(tmp_path / "net.nodes.csv"),
+                "--detector",
+                "all",
+                "--out-dir",
+                str(tmp_path / "out"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        detector_lines = [l for l in out.splitlines() if l.startswith("detector=")]
+        assert len(detector_lines) == 4
+        report = json.loads((tmp_path / "out" / "findings.json").read_text())
+        assert report["detectors"] == [
+            "circular-trading",
+            "iat-groups",
+            "missing-trader",
+            "shared-household",
+        ]
+        # The IAT reference run still writes the legacy artifacts.
+        assert (tmp_path / "out" / "detection.json").exists()
+
+        code = main(
+            [
+                "mine",
+                str(tmp_path / "net.arcs.csv"),
+                str(tmp_path / "net.nodes.csv"),
+                "--detector",
+                "circular-trading",
+                "--out-dir",
+                str(tmp_path / "rings"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "detector=circular-trading" in out
+        assert (tmp_path / "rings" / "findings.json").exists()
+        assert not (tmp_path / "rings" / "detection.json").exists()
+
     def test_mine_profile_prints_stage_tree(self, tmp_path, capsys, monkeypatch):
         monkeypatch.chdir(tmp_path)
         code = main(

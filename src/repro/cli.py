@@ -46,7 +46,8 @@ from repro.mining.detector import IAT_DETECTOR_NAME, detect
 from repro.mining.options import DetectOptions, Engine
 from repro.obs.profile import render_profile
 from repro.service.config import ServiceConfig
-from repro.service.server import DetectionHTTPServer, serve
+from repro.service.server import DetectionHTTPServer, ServiceLike, serve
+from repro.service.sharding import ShardedDetectionService
 from repro.service.state import DetectionService
 
 __all__ = ["main", "build_parser"]
@@ -166,6 +167,24 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=4096,
         help="LRU capacity of the per-root influence-path cache (0 = unbounded)",
+    )
+    srv.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="shard worker count; >1 partitions components across workers",
+    )
+    srv.add_argument(
+        "--queue-limit",
+        type=int,
+        default=1024,
+        help="per-shard ingest queue bound before requests are shed with 429",
+    )
+    srv.add_argument(
+        "--group-commit-max",
+        type=int,
+        default=128,
+        help="max queued mutations fused into one WAL fsync",
     )
     return parser
 
@@ -312,8 +331,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         snapshot_every=args.snapshot_every,
         fsync=not args.no_fsync,
         max_cached_roots=args.max_cached_roots or None,
+        shards=max(1, args.shards),
+        ingest_queue_limit=args.queue_limit,
+        group_commit_max=args.group_commit_max,
     )
-    service = DetectionService.open(tpiin, config)
+    service: ServiceLike
+    if config.shards > 1:
+        service = ShardedDetectionService.open(tpiin, config)
+    else:
+        service = DetectionService.open(tpiin, config)
     server = DetectionHTTPServer((config.host, config.port), service)
     host, port = server.server_address[:2]
     print(

@@ -47,6 +47,7 @@ _DEFAULT_HOT_FUNCTIONS: tuple[str, ...] = (
 
 _DEFAULT_BLOCKING_CALLS: tuple[str, ...] = (
     "self._wal.append",
+    "self._wal.sync",
     "self._wal.truncate",
     "self._wal.close",
     "write_snapshot",

@@ -21,6 +21,7 @@ __all__ = [
     "EvaluationError",
     "SerializationError",
     "ServiceError",
+    "BackpressureError",
     "ServiceClientError",
     "WALError",
 ]
@@ -97,16 +98,35 @@ class ServiceError(ReproError):
     """The detection service hit an unrecoverable operational fault."""
 
 
+class BackpressureError(ServiceError):
+    """An ingest queue is saturated; the caller should retry later.
+
+    Raised by the sharded service's admission control instead of
+    blocking (blocking every HTTP worker on a full queue would deadlock
+    the drain path).  The server maps it to ``429 Too Many Requests``
+    with a ``Retry-After`` header of ``retry_after`` seconds.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 0.05) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 class ServiceClientError(ServiceError):
     """An HTTP call to the detection service failed.
 
     Carries the HTTP ``status`` (0 when the request never reached the
-    server) so callers can distinguish rejections from outages.
+    server) so callers can distinguish rejections from outages, and —
+    for 429 rejections — the daemon's suggested ``retry_after`` delay
+    in seconds (``None`` when the response carried no such hint).
     """
 
-    def __init__(self, message: str, *, status: int = 0) -> None:
+    def __init__(
+        self, message: str, *, status: int = 0, retry_after: float | None = None
+    ) -> None:
         super().__init__(message)
         self.status = status
+        self.retry_after = retry_after
 
 
 class WALError(SerializationError):

@@ -28,6 +28,7 @@ round-trip (tested).
 from __future__ import annotations
 
 import csv
+import json
 from collections.abc import Container
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -53,8 +54,11 @@ if TYPE_CHECKING:
 
 __all__ = [
     "DEFAULT_INVESTMENT_THRESHOLD",
+    "ArcLine",
+    "ArcLineReject",
     "RegistryBundle",
     "load_registry_csvs",
+    "parse_arc_ndjson",
     "write_registry_csvs",
 ]
 
@@ -68,6 +72,80 @@ _INFLUENCE_KINDS = {
 
 #: Default major-shareholding threshold turning stakes into GI arcs.
 DEFAULT_INVESTMENT_THRESHOLD = 0.5
+
+#: Trading-arc mutation vocabulary of the NDJSON bulk-ingest format
+#: (mirrors the service WAL's operations; io sits below service, so the
+#: strings are duplicated here rather than imported upward).
+_ARC_OPS = frozenset({"add", "remove"})
+
+
+@dataclass(frozen=True, slots=True)
+class ArcLine:
+    """One accepted line of an NDJSON trading-arc batch.
+
+    ``index`` is the 0-based line number in the request body, preserved
+    so per-line reports line up with what the client sent.
+    """
+
+    index: int
+    op: str
+    seller: str
+    buyer: str
+
+
+@dataclass(frozen=True, slots=True)
+class ArcLineReject:
+    """One rejected line of an NDJSON batch, with the reason."""
+
+    index: int
+    error: str
+
+
+def parse_arc_ndjson(text: str) -> tuple[list[ArcLine], list[ArcLineReject]]:
+    """Parse and normalize an NDJSON trading-arc batch body.
+
+    One JSON object per line: ``{"op": "add"|"remove", "seller": S,
+    "buyer": B}``; ``op`` defaults to ``add``; endpoint ids are
+    whitespace-stripped.  Blank lines are skipped.  Malformed lines are
+    *rejected individually* — registry extracts arrive dirty, so one bad
+    row must not void the batch — and reported with their line index so
+    the caller can answer a per-line accept/reject report.
+    """
+    accepted: list[ArcLine] = []
+    rejected: list[ArcLineReject] = []
+    for index, line in enumerate(text.split("\n")):
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            rejected.append(ArcLineReject(index, f"not valid JSON: {exc}"))
+            continue
+        if not isinstance(payload, dict):
+            rejected.append(ArcLineReject(index, "expected a JSON object"))
+            continue
+        op = payload.get("op", "add")
+        if op not in _ARC_OPS:
+            rejected.append(
+                ArcLineReject(index, f"op must be 'add' or 'remove', got {op!r}")
+            )
+            continue
+        seller = payload.get("seller")
+        buyer = payload.get("buyer")
+        if not isinstance(seller, str) or not isinstance(buyer, str):
+            rejected.append(
+                ArcLineReject(index, "seller and buyer must be strings")
+            )
+            continue
+        seller = seller.strip()
+        buyer = buyer.strip()
+        if not seller or not buyer:
+            rejected.append(
+                ArcLineReject(index, "seller and buyer must be non-empty")
+            )
+            continue
+        accepted.append(ArcLine(index=index, op=op, seller=seller, buyer=buyer))
+    return accepted, rejected
 
 
 @dataclass

@@ -115,6 +115,20 @@ class IncrementalDetector:
         indexing and initial-stream ingest); defaults to the null
         tracer.  Long-lived callers (the daemon) trace per-mutation
         with their own tracers instead.
+    ingest_baseline:
+        With ``False`` the TPIIN's own trading arcs (and recorded
+        intra-SCS trades) are *not* ingested at construction — the
+        caller owns the initial stream.  The sharded service uses this:
+        each shard detector starts empty and receives only the arcs its
+        component partition owns.
+    share_antecedent_from:
+        An existing detector over the *same* TPIIN whose immutable
+        antecedent indexes (root-ancestor bitsets, frozen influence
+        CSR, component map, SCS membership) this one reuses instead of
+        rebuilding.  Mutable state — the live arc set, the per-root
+        path cache and its counters — stays per-instance, so N shard
+        detectors share one index build and memory footprint for the
+        antecedent side while streaming independently.
     """
 
     def __init__(
@@ -124,22 +138,37 @@ class IncrementalDetector:
         collect_groups: bool = True,
         max_cached_roots: int | None = 4096,
         tracer: TracerLike = NULL_TRACER,
+        ingest_baseline: bool = True,
+        share_antecedent_from: "IncrementalDetector | None" = None,
     ) -> None:
         if max_cached_roots is not None and max_cached_roots < 1:
             raise MiningError(
                 f"max_cached_roots must be positive or None, got {max_cached_roots}"
             )
         self._tpiin = tpiin
-        self._graph: DiGraph = tpiin.antecedent_graph()
         self._collect = collect_groups
-        with tracer.span("index_antecedent") as index_span:
-            self._index = RootAncestorIndex(self._graph, EColor.INFLUENCE)
-            # The antecedent side is immutable for the detector's lifetime:
-            # freeze it once and let every per-arc path walk (across all
-            # requests of a serving daemon) run over the CSR kernel.
-            self._csr = CSRGraph.freeze(self._graph, colors=(EColor.INFLUENCE,))
-            if tracer.enabled:
-                index_span.set(nodes=len(self._csr))
+        if share_antecedent_from is not None:
+            donor = share_antecedent_from
+            if donor._tpiin is not tpiin:
+                raise MiningError(
+                    "share_antecedent_from requires a detector over the same TPIIN"
+                )
+            # Antecedent indexes are immutable for the detector lifetime,
+            # so sharing references (not copies) is safe across threads.
+            self._graph = donor._graph
+            self._index = donor._index
+            self._csr = donor._csr
+        else:
+            self._graph = tpiin.antecedent_graph()
+            with tracer.span("index_antecedent") as index_span:
+                self._index = RootAncestorIndex(self._graph, EColor.INFLUENCE)
+                # The antecedent side is immutable for the detector's
+                # lifetime: freeze it once and let every per-arc path walk
+                # (across all requests of a serving daemon) run over the
+                # CSR kernel.
+                self._csr = CSRGraph.freeze(self._graph, colors=(EColor.INFLUENCE,))
+                if tracer.enabled:
+                    index_span.set(nodes=len(self._csr))
         self._max_cached_roots = max_cached_roots
         self._path_cache: OrderedDict[
             Node, dict[Node, list[tuple[Node, ...]]]
@@ -163,32 +192,37 @@ class IncrementalDetector:
             "repro_path_cache_evictions_total",
             help="Per-root influence-path cache LRU evictions.",
         )
-        self._member_to_scs: dict[Node, Node] = {}
-        for scs_id, subgraph in tpiin.scs_subgraphs.items():
-            for member in subgraph.nodes():
-                self._member_to_scs[member] = scs_id
+        if share_antecedent_from is not None:
+            self._member_to_scs = share_antecedent_from._member_to_scs
+            self._component_of = share_antecedent_from._component_of
+        else:
+            self._member_to_scs = {}
+            for scs_id, subgraph in tpiin.scs_subgraphs.items():
+                for member in subgraph.nodes():
+                    self._member_to_scs[member] = scs_id
 
-        self._component_of: dict[Node, int] = {}
-        for i, component in enumerate(
-            weakly_connected_components(self._graph, EColor.INFLUENCE)
-        ):
-            for node in component:
-                self._component_of[node] = i
+            self._component_of = {}
+            for i, component in enumerate(
+                weakly_connected_components(self._graph, EColor.INFLUENCE)
+            ):
+                for node in component:
+                    self._component_of[node] = i
 
         self._arcs: dict[tuple[Node, Node], _ArcState] = {}
         self._simple = 0
         self._complex = 0
         self._kinds: Counter[GroupKind] = Counter()
 
-        with tracer.span("ingest") as ingest_span:
-            for arc in tpiin.trading_arcs():
-                self.add_trading_arc(*arc)
-            for arc in tpiin.intra_scs_trades:
-                self.add_trading_arc(*arc)
-            if tracer.enabled:
-                ingest_span.set(
-                    arcs=len(self._arcs), suspicious=len(self.suspicious_arcs)
-                )
+        if ingest_baseline:
+            with tracer.span("ingest") as ingest_span:
+                for arc in tpiin.trading_arcs():
+                    self.add_trading_arc(*arc)
+                for arc in tpiin.intra_scs_trades:
+                    self.add_trading_arc(*arc)
+                if tracer.enabled:
+                    ingest_span.set(
+                        arcs=len(self._arcs), suspicious=len(self.suspicious_arcs)
+                    )
 
     # ------------------------------------------------------------------
     # stream operations

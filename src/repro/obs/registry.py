@@ -147,6 +147,33 @@ class Histogram:
     def mean(self) -> float:
         return self._sum / self._count if self._count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``) from the buckets.
+
+        Linear interpolation inside the bucket that crosses the target
+        rank, as Prometheus' ``histogram_quantile`` does.  Values above
+        the last finite bound clamp to it (the ``+inf`` bucket has no
+        upper edge to interpolate toward); an empty histogram reports
+        ``0.0``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            total = self._count
+            counts = list(self._counts)
+        if total == 0:
+            return 0.0
+        rank = q * total
+        running = 0.0
+        lower = 0.0
+        for bound, count in zip(self._bounds, counts):
+            if running + count >= rank and count:
+                fraction = (rank - running) / count
+                return lower + (bound - lower) * fraction
+            running += count
+            lower = bound
+        return self._bounds[-1] if self._bounds else 0.0
+
     def cumulative_buckets(self) -> list[tuple[float, int]]:
         """``(upper_bound, cumulative_count)`` pairs, ``inf`` last."""
         out: list[tuple[float, int]] = []

@@ -13,6 +13,8 @@ from repro.service.config import ServiceConfig
 from repro.service.locks import ReadWriteLock
 from repro.service.metrics import ServiceMetrics
 from repro.service.server import DetectionHTTPServer, serve
+from repro.service.shard import ShardWorker
+from repro.service.sharding import ShardedDetectionService
 from repro.service.snapshot import Snapshot, read_snapshot, write_snapshot
 from repro.service.state import ArcStatus, DetectionService
 from repro.service.wal import (
@@ -35,6 +37,8 @@ __all__ = [
     "ServiceClient",
     "ServiceConfig",
     "ServiceMetrics",
+    "ShardWorker",
+    "ShardedDetectionService",
     "Snapshot",
     "WALRecord",
     "WriteAheadLog",

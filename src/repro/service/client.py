@@ -1,34 +1,64 @@
 """Python client for the detection daemon's JSON API.
 
-Pure stdlib (:mod:`urllib.request`); one :class:`ServiceClient` per
-daemon base URL.  The client speaks the versioned ``/v1`` API natively
-(it never relies on the daemon's 308 compatibility redirects, which
-:mod:`urllib` on Python 3.10 does not follow).  Non-2xx responses raise
+Pure stdlib (:mod:`http.client`); one :class:`ServiceClient` per daemon
+base URL.  The client holds a persistent keep-alive connection — the
+daemon's :class:`~http.server.ThreadingHTTPServer` speaks HTTP/1.1, so
+reusing one socket avoids a TCP handshake per request, which dominates
+latency for small JSON bodies.  If the daemon closed the idle socket
+between calls (restart, keep-alive timeout), the client transparently
+reopens it and retries the request once.
+
+The client speaks the versioned ``/v1`` API natively (it never relies on
+the daemon's 308 compatibility redirects).  Non-2xx responses raise
 :class:`~repro.errors.ServiceClientError` carrying the HTTP status and
-the daemon's ``error`` message, so callers branch on ``exc.status``
-instead of parsing text.
+the daemon's ``error`` message; a 429 additionally carries the parsed
+``Retry-After`` header as ``exc.retry_after`` so callers can back off
+precisely instead of guessing.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import threading
 import time
-import urllib.error
-import urllib.request
 from typing import Any
-from urllib.parse import quote
+from urllib.parse import quote, urlsplit
 
 from repro.errors import ServiceClientError
 
 __all__ = ["ServiceClient"]
 
+# Socket-level failures that mean "the daemon dropped our idle keep-alive
+# connection" — safe to reopen and retry exactly once.
+_STALE_SOCKET_ERRORS = (
+    http.client.RemoteDisconnected,
+    http.client.BadStatusLine,
+    ConnectionResetError,
+    BrokenPipeError,
+)
+
 
 class ServiceClient:
-    """Thin typed wrapper over the daemon's HTTP endpoints."""
+    """Thin typed wrapper over the daemon's HTTP endpoints.
+
+    Thread-safe: a lock serializes use of the underlying keep-alive
+    connection, so one client instance can be shared across threads
+    (they will contend for the socket; use one client per thread for
+    parallel load).
+    """
 
     def __init__(self, base_url: str, *, timeout: float = 10.0) -> None:
         self._base = base_url.rstrip("/")
+        parsed = urlsplit(self._base)
+        if parsed.scheme != "http" or not parsed.hostname:
+            raise ServiceClientError(f"unsupported base URL: {base_url!r}")
+        self._host = parsed.hostname
+        self._port = parsed.port or 80
+        self._prefix = parsed.path.rstrip("/")
         self._timeout = timeout
+        self._lock = threading.Lock()
+        self._conn: http.client.HTTPConnection | None = None
 
     # ------------------------------------------------------------------
     # mutations
@@ -43,6 +73,35 @@ class ServiceClient:
         """Retract a trading arc; returns the verdict payload."""
         return self._request(
             "POST", "/v1/arcs", body={"op": "remove", "seller": seller, "buyer": buyer}
+        )
+
+    def batch_arcs(
+        self, ops: list[tuple[str, str, str]] | list[dict[str, str]]
+    ) -> dict[str, Any]:
+        """Bulk-apply arc mutations in one round trip via NDJSON.
+
+        ``ops`` is a list of ``(op, seller, buyer)`` tuples or
+        ``{"op", "seller", "buyer"}`` dicts.  Returns the daemon's batch
+        report: accepted/rejected counts plus a per-line verdict list.
+        """
+        lines: list[str] = []
+        for entry in ops:
+            if isinstance(entry, dict):
+                record = {
+                    "op": entry["op"],
+                    "seller": entry["seller"],
+                    "buyer": entry["buyer"],
+                }
+            else:
+                op, seller, buyer = entry
+                record = {"op": op, "seller": seller, "buyer": buyer}
+            lines.append(json.dumps(record, separators=(",", ":")))
+        payload = "\n".join(lines) + "\n" if lines else ""
+        return self._request(
+            "POST",
+            "/v1/arcs:batch",
+            raw_body=payload.encode("utf-8"),
+            content_type="application/x-ndjson",
         )
 
     # ------------------------------------------------------------------
@@ -95,27 +154,92 @@ class ServiceClient:
             f"after {attempts} attempts: {last_error}"
         )
 
+    def close(self) -> None:
+        """Drop the keep-alive connection (idempotent)."""
+        with self._lock:
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None
+
+    def __enter__(self) -> ServiceClient:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     # ------------------------------------------------------------------
     def _request(
-        self, method: str, path: str, *, body: dict[str, Any] | None = None
+        self,
+        method: str,
+        path: str,
+        *,
+        body: dict[str, Any] | None = None,
+        raw_body: bytes | None = None,
+        content_type: str = "application/json",
     ) -> dict[str, Any]:
         url = self._base + path
-        data = json.dumps(body).encode("utf-8") if body is not None else None
-        request = urllib.request.Request(url, data=data, method=method)
-        if data is not None:
-            request.add_header("Content-Type", "application/json")
-        try:
-            with urllib.request.urlopen(request, timeout=self._timeout) as response:
-                payload = self._decode(response.read(), status=response.status, url=url)
-        except urllib.error.HTTPError as exc:
-            payload = self._decode(exc.read(), status=exc.code, url=url)
-            message = payload.get("error", f"HTTP {exc.code}")
+        data = raw_body
+        if data is None and body is not None:
+            data = json.dumps(body).encode("utf-8")
+        headers = {"Content-Type": content_type} if data is not None else {}
+        with self._lock:
+            try:
+                status, retry_after, raw = self._exchange(method, path, data, headers)
+            except _STALE_SOCKET_ERRORS:
+                # The daemon dropped our idle socket; reconnect and retry
+                # once on a fresh connection.
+                self._drop_connection_locked()
+                try:
+                    status, retry_after, raw = self._exchange(
+                        method, path, data, headers
+                    )
+                except OSError as exc:
+                    self._drop_connection_locked()
+                    raise ServiceClientError(
+                        f"{method} {url} unreachable: {exc}"
+                    ) from exc
+            except OSError as exc:
+                self._drop_connection_locked()
+                raise ServiceClientError(f"{method} {url} unreachable: {exc}") from exc
+        payload = self._decode(raw, status=status, url=url)
+        if status >= 400:
+            message = payload.get("error", f"HTTP {status}")
             raise ServiceClientError(
-                f"{method} {url} failed: {message}", status=exc.code
-            ) from exc
-        except urllib.error.URLError as exc:
-            raise ServiceClientError(f"{method} {url} unreachable: {exc.reason}") from exc
+                f"{method} {url} failed: {message}",
+                status=status,
+                retry_after=retry_after,
+            )
         return payload
+
+    def _exchange(
+        self, method: str, path: str, data: bytes | None, headers: dict[str, str]
+    ) -> tuple[int, float | None, bytes]:
+        conn = self._connection_locked()
+        conn.request(method, self._prefix + path, body=data, headers=headers)
+        response = conn.getresponse()
+        raw = response.read()  # fully drain so the socket is reusable
+        retry_after: float | None = None
+        header = response.getheader("Retry-After")
+        if header is not None:
+            try:
+                retry_after = float(header)
+            except ValueError:
+                retry_after = None
+        if response.will_close:
+            self._drop_connection_locked()
+        return response.status, retry_after, raw
+
+    def _connection_locked(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self._host, self._port, timeout=self._timeout
+            )
+        return self._conn
+
+    def _drop_connection_locked(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
 
     @staticmethod
     def _decode(raw: bytes, *, status: int, url: str) -> dict[str, Any]:

@@ -51,6 +51,22 @@ class ServiceConfig:
     recent_traces:
         How many recent mutation span trees to keep for
         ``GET /v1/trace/{subtpiin}``; ``0`` disables mutation tracing.
+    shards:
+        How many component-sharded workers the sharded service runs.
+        Each shard owns the state, WAL and incremental detector of a
+        disjoint set of weakly connected antecedent components; ``1``
+        keeps one worker but still uses the queued group-commit ingest
+        pipeline.  Ignored by the single-lock :class:`DetectionService`.
+    ingest_queue_limit:
+        Bound on each shard's pending single-arc ingest queue.  A full
+        queue sheds the request with HTTP ``429`` + ``Retry-After``
+        instead of blocking — admission control never deadlocks.
+    group_commit_max:
+        Upper bound on how many queued mutations one shard worker
+        applies per WAL fsync (group commit).  Larger groups amortize
+        the fsync further at the cost of per-request latency.
+    retry_after_seconds:
+        The ``Retry-After`` hint (in seconds) sent with 429 responses.
     """
 
     state_dir: Path
@@ -61,6 +77,10 @@ class ServiceConfig:
     max_cached_roots: int | None = 4096
     collect_groups: bool = True
     recent_traces: int = 64
+    shards: int = 1
+    ingest_queue_limit: int = 1024
+    group_commit_max: int = 128
+    retry_after_seconds: float = 0.05
 
     def __post_init__(self) -> None:
         if self.snapshot_every < 1:
@@ -73,6 +93,20 @@ class ServiceConfig:
             )
         if not 0 <= self.port <= 65535:
             raise ServiceError(f"port must be in [0, 65535], got {self.port}")
+        if self.shards < 1:
+            raise ServiceError(f"shards must be >= 1, got {self.shards}")
+        if self.ingest_queue_limit < 1:
+            raise ServiceError(
+                f"ingest_queue_limit must be >= 1, got {self.ingest_queue_limit}"
+            )
+        if self.group_commit_max < 1:
+            raise ServiceError(
+                f"group_commit_max must be >= 1, got {self.group_commit_max}"
+            )
+        if self.retry_after_seconds <= 0:
+            raise ServiceError(
+                f"retry_after_seconds must be > 0, got {self.retry_after_seconds}"
+            )
         object.__setattr__(self, "state_dir", Path(self.state_dir))
 
     @property
@@ -82,6 +116,13 @@ class ServiceConfig:
     @property
     def snapshot_path(self) -> Path:
         return self.state_dir / _SNAPSHOT_FILENAME
+
+    def shard_wal_path(self, shard: int) -> Path:
+        """WAL of one shard worker (``wal-0003.jsonl`` for shard 3)."""
+        return self.state_dir / f"wal-{shard:04d}.jsonl"
+
+    def shard_snapshot_path(self, shard: int) -> Path:
+        return self.state_dir / f"snapshot-{shard:04d}.json"
 
     def ensure_state_dir(self) -> Path:
         self.state_dir.mkdir(parents=True, exist_ok=True)

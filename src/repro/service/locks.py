@@ -38,7 +38,9 @@ class ReadWriteLock:
     def release_read(self) -> None:
         with self._cond:
             self._active_readers -= 1
-            if self._active_readers == 0:
+            # Only a writer can be blocked on readers draining; when none
+            # waits, notifying would wake the whole herd for nothing.
+            if self._active_readers == 0 and self._writers_waiting:
                 self._cond.notify_all()
 
     def acquire_write(self) -> None:

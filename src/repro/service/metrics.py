@@ -37,6 +37,7 @@ class ServiceMetrics:
 
     # ------------------------------------------------------------------
     def observe_request(self, endpoint: str, status: int, elapsed_ms: float) -> None:
+        status_class = f"{status // 100}xx"
         for registry in (self._own, self._shared):
             registry.counter(
                 "repro_http_requests_total",
@@ -49,12 +50,81 @@ class ServiceMetrics:
                     help="HTTP responses with status >= 400, by endpoint.",
                     endpoint=endpoint,
                 ).inc()
+            # Two latency series: the endpoint-only histogram feeds the
+            # legacy ``latency_ms`` JSON keys; the (endpoint, status
+            # class) one is the per-route SLO series Prometheus scrapes.
             registry.histogram(
                 "repro_http_request_duration_ms",
                 buckets=_LATENCY_BUCKETS_MS,
                 help="HTTP request wall time in milliseconds.",
                 endpoint=endpoint,
             ).observe(elapsed_ms)
+            registry.histogram(
+                "repro_http_request_duration_by_status_ms",
+                buckets=_LATENCY_BUCKETS_MS,
+                help="HTTP request wall time in milliseconds, by endpoint "
+                "and status class.",
+                endpoint=endpoint,
+                status_class=status_class,
+            ).observe(elapsed_ms)
+
+    def observe_batch(self, accepted: int, rejected: int, elapsed_ms: float) -> None:
+        """One ``POST /v1/arcs:batch`` ingest: per-line tallies + wall time."""
+        for registry in (self._own, self._shared):
+            registry.counter(
+                "repro_batch_requests_total",
+                help="NDJSON batch-ingest requests served.",
+            ).inc()
+            registry.counter(
+                "repro_batch_lines_total",
+                help="NDJSON batch lines processed, by outcome.",
+                outcome="accepted",
+            ).inc(accepted)
+            registry.counter(
+                "repro_batch_lines_total",
+                help="NDJSON batch lines processed, by outcome.",
+                outcome="rejected",
+            ).inc(rejected)
+            registry.histogram(
+                "repro_batch_duration_ms",
+                buckets=_LATENCY_BUCKETS_MS,
+                help="Batch-ingest wall time in milliseconds.",
+            ).observe(elapsed_ms)
+
+    def set_queue_depth(self, shard: int, depth: int, capacity: int) -> None:
+        """Current occupancy of one shard's bounded ingest queue."""
+        for registry in (self._own, self._shared):
+            registry.gauge(
+                "repro_ingest_queue_depth",
+                help="Pending mutations in the shard's ingest queue.",
+                shard=str(shard),
+            ).set(depth)
+            registry.gauge(
+                "repro_ingest_queue_capacity",
+                help="Bound of the shard's ingest queue.",
+                shard=str(shard),
+            ).set(capacity)
+
+    def count_shed(self, shard: int) -> None:
+        """One request shed (429) because the shard's queue was full."""
+        for registry in (self._own, self._shared):
+            registry.counter(
+                "repro_ingest_shed_total",
+                help="Mutations rejected with 429 by admission control.",
+                shard=str(shard),
+            ).inc()
+
+    def count_migration(self, arcs: int) -> None:
+        """One cross-shard component merge rehomed ``arcs`` trading arcs."""
+        for registry in (self._own, self._shared):
+            registry.counter(
+                "repro_component_migrations_total",
+                help="Cross-shard component merges performed.",
+            ).inc()
+            registry.counter(
+                "repro_migrated_arcs_total",
+                help="Trading arcs rehomed by cross-shard merges.",
+            ).inc(arcs)
 
     def count_arc_applied(self, op: str) -> None:
         for registry in (self._own, self._shared):
@@ -119,7 +189,10 @@ class ServiceMetrics:
             errors[labels.get("endpoint", "")] = metric.value
         for labels, metric in self._own.series_for("repro_http_request_duration_ms"):
             if isinstance(metric, Histogram):
-                latency[labels.get("endpoint", "")] = metric.to_dict()
+                payload = metric.to_dict()
+                payload["p50_ms"] = metric.quantile(0.5)
+                payload["p99_ms"] = metric.quantile(0.99)
+                latency[labels.get("endpoint", "")] = payload
         return {
             "uptime_seconds": self.uptime_seconds,
             "requests": dict(sorted(requests.items())),

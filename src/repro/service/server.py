@@ -7,6 +7,7 @@ Permanent Redirect`` to their ``/v1`` twin so old clients keep working
 
 =========================================  =====================================
 ``POST /v1/arcs``                          apply ``{"op", "seller", "buyer"}``
+``POST /v1/arcs:batch``                    NDJSON bulk ingest, per-line verdicts
 ``GET  /v1/arcs/{seller}/{buyer}``         status of one trading arc
 ``GET  /v1/result``                        full detection result (JSON)
 ``GET  /v1/result?detector={name}``        one portfolio detector's findings
@@ -36,13 +37,18 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, cast
 from urllib.parse import parse_qs, unquote
 
-from repro.errors import MiningError, ServiceError
+from repro.errors import BackpressureError, MiningError, ServiceError
+from repro.io.registry_io import parse_arc_ndjson
 from repro.io.results_io import detection_to_dict, group_to_dict
 from repro.mining.incremental import ArcUpdate
+from repro.service.sharding import ShardedDetectionService
 from repro.service.state import DetectionService
 from repro.service.wal import OP_ADD, OP_REMOVE
 
-__all__ = ["DetectionHTTPServer", "serve"]
+__all__ = ["DetectionHTTPServer", "ServiceLike", "serve"]
+
+#: Either service flavor; the transport only uses their shared surface.
+ServiceLike = DetectionService | ShardedDetectionService
 
 _logger = logging.getLogger("repro.service")
 
@@ -77,7 +83,7 @@ class DetectionHTTPServer(ThreadingHTTPServer):
     block_on_close = True
     allow_reuse_address = True
 
-    def __init__(self, address: tuple[str, int], service: DetectionService) -> None:
+    def __init__(self, address: tuple[str, int], service: ServiceLike) -> None:
         super().__init__(address, _DetectionRequestHandler)
         self.service = service
 
@@ -87,9 +93,18 @@ class _DetectionRequestHandler(BaseHTTPRequestHandler):
 
     server_version = "repro-tpiin-service/1"
     protocol_version = "HTTP/1.1"
+    # Headers and body go out in separate send() calls; without
+    # TCP_NODELAY, Nagle + the peer's delayed ACK serializes them into
+    # a ~40 ms stall per keep-alive request.
+    disable_nagle_algorithm = True
+    # Keep-alive idle timeout: with block_on_close, a handler thread
+    # parked on an idle persistent connection would stall
+    # server_close() forever.  Reaping after a quiet second keeps drain
+    # bounded; clients transparently reconnect (stale-socket retry).
+    timeout = 1.0
 
     @property
-    def service(self) -> DetectionService:
+    def service(self) -> ServiceLike:
         return cast(DetectionHTTPServer, self.server).service
 
     # ------------------------------------------------------------------
@@ -103,25 +118,42 @@ class _DetectionRequestHandler(BaseHTTPRequestHandler):
 
     def _dispatch(self, method: str) -> None:
         started = time.perf_counter()
-        endpoint = "unknown"
+        # Routes update the hint once the path is recognized, so error
+        # responses still land on the right metrics series.
+        self._endpoint_hint = "unknown"
         status = 500
         text: str | None = None
         location: str | None = None
+        retry_after: float | None = None
         try:
             endpoint, status, payload, text, location = self._route(method)
         except MiningError as exc:
+            endpoint = self._endpoint_hint
             status, payload = 400, {"error": str(exc)}
+        except BackpressureError as exc:
+            # Admission control shed the request; tell the client when
+            # to retry.  Checked before ServiceError — it subclasses it.
+            endpoint = self._endpoint_hint
+            status, payload = 429, {"error": str(exc)}
+            retry_after = exc.retry_after
         except ServiceError as exc:
+            endpoint = self._endpoint_hint
             status, payload = 503, {"error": str(exc)}
         except Exception as exc:  # pragma: no cover - defensive
             _logger.exception("unhandled error serving %s %s", method, self.path)
+            endpoint = self._endpoint_hint
             status, payload = 500, {"error": f"internal error: {exc}"}
         if location is not None:
             self._send_redirect(status, location)
         elif text is not None:
             self._send_text(status, text)
         else:
-            self._send_json(status, payload if payload is not None else {})
+            headers = (
+                {"Retry-After": f"{retry_after:g}"} if retry_after is not None else None
+            )
+            self._send_json(
+                status, payload if payload is not None else {}, extra_headers=headers
+            )
         elapsed_ms = (time.perf_counter() - started) * 1000.0
         self.service.metrics.observe_request(endpoint, status, elapsed_ms)
 
@@ -146,8 +178,13 @@ class _DetectionRequestHandler(BaseHTTPRequestHandler):
     def _route_v1(self, method: str, parts: list[str], query: str) -> _Routed:
         if method == "POST":
             if parts == ["arcs"]:
+                self._endpoint_hint = "post_arcs"
                 status, payload = self._handle_post_arcs()
                 return "post_arcs", status, payload, None, None
+            if parts == ["arcs:batch"]:
+                self._endpoint_hint = "post_arcs_batch"
+                status, payload = self._handle_post_batch()
+                return "post_arcs_batch", status, payload, None, None
             return (
                 "unknown",
                 404,
@@ -156,8 +193,10 @@ class _DetectionRequestHandler(BaseHTTPRequestHandler):
                 None,
             )
         if parts == ["healthz"]:
+            self._endpoint_hint = "healthz"
             return "healthz", 200, dict(self.service.health()), None, None
         if parts == ["metrics"]:
+            self._endpoint_hint = "metrics"
             formats = parse_qs(query).get("format", [])
             if "prometheus" in formats:
                 return (
@@ -169,6 +208,7 @@ class _DetectionRequestHandler(BaseHTTPRequestHandler):
                 )
             return "metrics", 200, dict(self.service.metrics_payload()), None, None
         if parts == ["detectors"]:
+            self._endpoint_hint = "detectors"
             return (
                 "detectors",
                 200,
@@ -177,6 +217,7 @@ class _DetectionRequestHandler(BaseHTTPRequestHandler):
                 None,
             )
         if parts == ["result"]:
+            self._endpoint_hint = "result"
             names = parse_qs(query).get("detector", [])
             if names:
                 # Portfolio detector requested: answer with its findings
@@ -190,6 +231,7 @@ class _DetectionRequestHandler(BaseHTTPRequestHandler):
                 )
             return "result", 200, detection_to_dict(self.service.result()), None, None
         if len(parts) == 3 and parts[0] == "arcs":
+            self._endpoint_hint = "get_arc"
             status_view = self.service.arc_status(parts[1], parts[2])
             return (
                 "get_arc",
@@ -204,6 +246,7 @@ class _DetectionRequestHandler(BaseHTTPRequestHandler):
                 None,
             )
         if len(parts) == 2 and parts[0] == "investigate":
+            self._endpoint_hint = "investigate"
             return (
                 "investigate",
                 200,
@@ -212,6 +255,7 @@ class _DetectionRequestHandler(BaseHTTPRequestHandler):
                 None,
             )
         if len(parts) == 2 and parts[0] == "trace":
+            self._endpoint_hint = "trace"
             try:
                 subtpiin = int(parts[1])
             except ValueError:
@@ -242,6 +286,39 @@ class _DetectionRequestHandler(BaseHTTPRequestHandler):
             update = self.service.remove_arc(seller, buyer)
         return 200, _update_to_dict(update)
 
+    def _handle_post_batch(self) -> tuple[int, dict[str, Any]]:
+        """NDJSON bulk ingest: one arc op per line, per-line verdicts.
+
+        Malformed lines are rejected individually (the rest of the
+        batch still applies); the response reports every line by its
+        0-based index so clients can retry precisely.
+        """
+        started = time.perf_counter()
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise MiningError("request body is empty; expected NDJSON arc lines")
+        try:
+            text = raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise MiningError(f"request body is not valid UTF-8: {exc}") from exc
+        lines, rejects = parse_arc_ndjson(text)
+        results = self.service.apply_batch(lines) if lines else []
+        report = [
+            {"line": reject.index, "error": reject.error} for reject in rejects
+        ] + list(results)
+        report.sort(key=lambda entry: cast(int, entry["line"]))
+        accepted = sum(1 for entry in report if "error" not in entry)
+        rejected = len(report) - accepted
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        self.service.metrics.observe_batch(accepted, rejected, elapsed_ms)
+        return 200, {
+            "lines": len(report),
+            "accepted": accepted,
+            "rejected": rejected,
+            "results": report,
+        }
+
     def _read_json_body(self) -> dict[str, Any]:
         length = int(self.headers.get("Content-Length") or 0)
         raw = self.rfile.read(length) if length else b""
@@ -256,11 +333,19 @@ class _DetectionRequestHandler(BaseHTTPRequestHandler):
         return payload
 
     # ------------------------------------------------------------------
-    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: dict[str, Any],
+        *,
+        extra_headers: dict[str, str] | None = None,
+    ) -> None:
         body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 

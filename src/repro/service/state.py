@@ -31,6 +31,7 @@ from repro.detectors.registry import get_detector_registry
 from repro.detectors.runner import run_detectors
 from repro.errors import MiningError, ServiceError
 from repro.fusion.tpiin import TPIIN
+from repro.io.registry_io import ArcLine
 from repro.mining.detector import DetectionResult
 from repro.mining.groups import SuspiciousGroup
 from repro.mining.incremental import ArcUpdate, IncrementalDetector
@@ -275,6 +276,61 @@ class DetectionService:
             except MiningError:
                 continue
         return tuple(sorted(components))
+
+    def apply_batch(self, lines: Sequence[ArcLine]) -> list[dict[str, object]]:
+        """Apply parsed NDJSON lines; one report entry per line, in order.
+
+        The single-shard counterpart of the sharded service's bulk
+        ingest: lines are applied in chunks of ``group_commit_max``,
+        each chunk one write-lock hold with one WAL flush+fsync at the
+        end — the same group-commit discipline, so acknowledgement
+        still implies durability while the fsync cost amortizes across
+        the chunk.
+        """
+        report: list[dict[str, object]] = []
+        chunk_size = max(1, self._config.group_commit_max)
+        for start in range(0, len(lines), chunk_size):
+            chunk = lines[start : start + chunk_size]
+            with self._lock.write():
+                self._ensure_open_locked()
+                appended = False
+                for line in chunk:
+                    try:
+                        if line.op == OP_ADD:
+                            update = self._detector.add_trading_arc(
+                                line.seller, line.buyer
+                            )
+                        else:
+                            update = self._detector.remove_trading_arc(
+                                line.seller, line.buyer
+                            )
+                    except MiningError as exc:
+                        report.append({"line": line.index, "error": str(exc)})
+                        continue
+                    if update.applied:
+                        self._wal.append(  # reprolint: disable=R014
+                            line.op, line.seller, line.buyer, sync=False
+                        )
+                        appended = True
+                        self.metrics.count_wal_append()
+                        self.metrics.count_arc_applied(line.op)
+                        self._ops_since_snapshot += 1
+                    report.append(
+                        {
+                            "line": line.index,
+                            "op": line.op,
+                            "arc": [line.seller, line.buyer],
+                            "applied": update.applied,
+                            "suspicious": update.suspicious,
+                            "group_count": update.group_count,
+                        }
+                    )
+                if appended:
+                    # Group-commit barrier: one fsync covers the chunk.
+                    self._wal.sync()  # reprolint: disable=R014
+                    if self._ops_since_snapshot >= self._config.snapshot_every:
+                        self._compact_locked()
+        return report
 
     def compact(self) -> Snapshot:
         """Force a snapshot + WAL truncation; returns the snapshot."""

@@ -181,18 +181,52 @@ class WriteAheadLog:
     def last_seq(self) -> int:
         return self._next_seq - 1
 
-    def append(self, op: str, seller: str, buyer: str) -> WALRecord:
-        """Durably record one applied update; returns the record."""
+    def append(
+        self,
+        op: str,
+        seller: str,
+        buyer: str,
+        *,
+        seq: int | None = None,
+        sync: bool = True,
+    ) -> WALRecord:
+        """Durably record one applied update; returns the record.
+
+        ``seq`` overrides the internal counter — shard WALs share one
+        global sequence, so their owner assigns it — and must stay
+        strictly increasing within this file.  ``sync=False`` buffers
+        the record without flushing; the caller then amortizes one
+        :meth:`sync` over a whole group of appends (group commit) and
+        must not acknowledge any of them before that sync returns.
+        """
         if op not in _OPS:
             raise WALError(f"unknown WAL operation {op!r}")
+        if seq is not None:
+            if seq < self._next_seq:
+                raise WALError(
+                    f"seq {seq} does not increase (next expected >= {self._next_seq})"
+                )
+            self._next_seq = seq
         record = WALRecord(seq=self._next_seq, op=op, seller=seller, buyer=buyer)
         handle = self._ensure_handle()
         handle.write(record.to_json() + "\n")
-        handle.flush()
-        if self._fsync:
-            os.fsync(handle.fileno())
+        if sync:
+            handle.flush()
+            if self._fsync:
+                os.fsync(handle.fileno())
         self._next_seq += 1
         return record
+
+    def sync(self) -> None:
+        """Flush (and fsync, if configured) buffered appends to disk.
+
+        The group-commit barrier: after this returns, every record
+        appended with ``sync=False`` is durable and may be acknowledged.
+        """
+        if self._handle is not None:
+            self._handle.flush()
+            if self._fsync:
+                os.fsync(self._handle.fileno())
 
     def truncate(self) -> None:
         """Drop every record (after a snapshot made them redundant).
